@@ -1,0 +1,104 @@
+// Ablation: Simple-HGN's edge-type attention vs the vanilla GAT baseline
+// (Sec. 4 / Sec. 5.1.1). The synthetic heterographs give every edge type
+// its own community pairing, so attention that can condition on the edge
+// type has a real advantage — this bench quantifies it under both central
+// and federated training.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/csv_writer.h"
+#include "core/string_util.h"
+#include "core/table_printer.h"
+
+namespace fedda::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  CommonFlags flags;
+  core::FlagParser parser;
+  int num_clients = 8;
+  parser.AddInt("clients", &num_clients, "number of clients M");
+  flags.Register(&parser);
+  const core::Status status = parser.Parse(argc, argv);
+  if (!status.ok()) {
+    return status.code() == core::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+
+  core::TablePrinter table({"Dataset", "Encoder", "Setting", "ROC-AUC",
+                            "MRR", "Param groups"});
+  core::CsvWriter csv;
+  FEDDA_CHECK_OK(csv.Open(OutputPath(flags, "ablation_encoder.csv"),
+                          {"dataset", "encoder", "setting", "auc_mean",
+                           "auc_std", "mrr_mean", "groups"}));
+
+  for (const std::string& dataset : {std::string("dblp"),
+                                    std::string("amazon")}) {
+    table.AddSeparator();
+    for (const bool edge_type_attention : {true, false}) {
+      CommonFlags local = flags;
+      local.dataset = dataset;
+      fl::SystemConfig config = MakeSystemConfig(local, num_clients);
+      config.model.use_edge_type_attention = edge_type_attention;
+      const fl::FederatedSystem system = fl::FederatedSystem::Build(config);
+      tensor::ParameterStore reference = system.MakeInitialStore(1);
+      const std::string encoder =
+          edge_type_attention ? "Simple-HGN" : "GAT (no edge-type attn)";
+
+      // Central training.
+      fl::FlOptions options = MakeFlOptions(local);
+      {
+        std::vector<double> aucs, mrrs;
+        for (int r = 0; r < flags.runs; ++r) {
+          const fl::BaselineResult result =
+              RunGlobal(system, flags.rounds, options.local, options.eval,
+                        100 + r);
+          aucs.push_back(result.auc);
+          mrrs.push_back(result.mrr);
+        }
+        const metrics::MeanStd auc = metrics::ComputeMeanStd(aucs);
+        const metrics::MeanStd mrr = metrics::ComputeMeanStd(mrrs);
+        table.AddRow({dataset, encoder, "Global", FormatMeanStd(auc),
+                      FormatMeanStd(mrr),
+                      std::to_string(reference.num_groups())});
+        csv.WriteRow(std::vector<std::string>{
+            dataset, encoder, "global", core::FormatDouble(auc.mean, 6),
+            core::FormatDouble(auc.std, 6), core::FormatDouble(mrr.mean, 6),
+            std::to_string(reference.num_groups())});
+      }
+
+      // Federated training (FedDA-Explore).
+      {
+        fl::FlOptions fed = options;
+        fed.algorithm = fl::FlAlgorithm::kFedDaExplore;
+        fed.eval_every_round = false;
+        const fl::RepeatedSummary summary = Summarize(
+            RunFederatedRepeated(system, fed, flags.runs, 200));
+        table.AddRow({dataset, encoder, "FedDA-Explore",
+                      FormatMeanStd(summary.final_auc),
+                      FormatMeanStd(summary.final_mrr),
+                      std::to_string(reference.num_groups())});
+        csv.WriteRow(std::vector<std::string>{
+            dataset, encoder, "fedda_explore",
+            core::FormatDouble(summary.final_auc.mean, 6),
+            core::FormatDouble(summary.final_auc.std, 6),
+            core::FormatDouble(summary.final_mrr.mean, 6),
+            std::to_string(reference.num_groups())});
+      }
+      std::cout << "." << std::flush;
+    }
+  }
+
+  std::cout << "\n\n=== Ablation: edge-type attention (Simple-HGN) vs "
+               "vanilla GAT ===\n";
+  table.Print();
+  std::cout << "\nShape check: Simple-HGN should match or beat GAT, with the "
+               "gap widest on DBLP\n(5 link types with distinct community "
+               "pairings vs Amazon's 2).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedda::bench
+
+int main(int argc, char** argv) { return fedda::bench::Main(argc, argv); }

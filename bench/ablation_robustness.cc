@@ -1,0 +1,91 @@
+// Robustness/privacy sweeps over the FL runner extensions:
+//   (a) client failure (straggler/crash) probability sweep — does FedDA's
+//       dynamic activation cope with unreliable clients better than FedAvg?
+//   (b) DP-style Gaussian noise on returned updates — quality vs privacy
+//       noise, the paper's Sec. 7 future-work direction.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/csv_writer.h"
+#include "core/string_util.h"
+#include "core/table_printer.h"
+
+namespace fedda::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  CommonFlags flags;
+  core::FlagParser parser;
+  int num_clients = 8;
+  parser.AddInt("clients", &num_clients, "number of clients M");
+  flags.Register(&parser);
+  const core::Status status = parser.Parse(argc, argv);
+  if (!status.ok()) {
+    return status.code() == core::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+
+  const fl::SystemConfig config = MakeSystemConfig(flags, num_clients);
+  const fl::FederatedSystem system = fl::FederatedSystem::Build(config);
+
+  core::TablePrinter table({"Sweep", "Value", "Framework", "Final AUC",
+                            "Uplink groups"});
+  core::CsvWriter csv;
+  FEDDA_CHECK_OK(csv.Open(OutputPath(flags, "ablation_robustness.csv"),
+                          {"sweep", "value", "framework", "auc_mean",
+                           "auc_std", "uplink_groups"}));
+
+  const std::vector<std::pair<std::string, fl::FlAlgorithm>> frameworks = {
+      {"FedAvg", fl::FlAlgorithm::kFedAvg},
+      {"FedDA-Explore", fl::FlAlgorithm::kFedDaExplore}};
+
+  auto run_cell = [&](const std::string& sweep, double value,
+                      const std::string& name, fl::FlOptions options) {
+    options.eval_every_round = false;
+    const fl::RepeatedSummary summary = Summarize(
+        RunFederatedRepeated(system, options, flags.runs, 300));
+    table.AddRow({sweep, core::FormatDouble(value, 4), name,
+                  FormatMeanStd(summary.final_auc),
+                  core::FormatWithCommas(static_cast<int64_t>(
+                      summary.mean_total_uplink_groups))});
+    csv.WriteRow(std::vector<std::string>{
+        sweep, core::FormatDouble(value, 6), name,
+        core::FormatDouble(summary.final_auc.mean, 6),
+        core::FormatDouble(summary.final_auc.std, 6),
+        core::FormatDouble(summary.mean_total_uplink_groups, 1)});
+    std::cout << "." << std::flush;
+  };
+
+  for (double failure : {0.0, 0.2, 0.4}) {
+    table.AddSeparator();
+    for (const auto& [name, algorithm] : frameworks) {
+      fl::FlOptions options = MakeFlOptions(flags);
+      options.algorithm = algorithm;
+      options.client_failure_prob = failure;
+      run_cell("client failure p", failure, name, options);
+    }
+  }
+
+  for (double noise : {1e-4, 1e-3, 1e-2}) {
+    table.AddSeparator();
+    for (const auto& [name, algorithm] : frameworks) {
+      fl::FlOptions options = MakeFlOptions(flags);
+      options.algorithm = algorithm;
+      options.dp_noise_std = noise;
+      run_cell("DP noise std", noise, name, options);
+    }
+  }
+
+  std::cout << "\n\n=== Robustness sweeps (" << flags.dataset << ", M="
+            << num_clients << ") ===\n";
+  table.Print();
+  std::cout << "\nShape check: quality degrades gracefully with failures "
+               "(fewer updates per round)\nand with increasing DP noise; "
+               "FedDA keeps its communication advantage throughout.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedda::bench
+
+int main(int argc, char** argv) { return fedda::bench::Main(argc, argv); }

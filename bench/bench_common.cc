@@ -1,0 +1,89 @@
+#include "bench/bench_common.h"
+
+#include <sys/stat.h>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace fedda::bench {
+
+void CommonFlags::Register(core::FlagParser* parser) {
+  parser->AddString("dataset", &dataset, "dataset schema: dblp | amazon");
+  parser->AddDouble("scale", &scale,
+                    "dataset scale (0 = per-dataset bench default)");
+  parser->AddInt("rounds", &rounds, "communication rounds T");
+  parser->AddInt("runs", &runs, "repetitions per configuration");
+  parser->AddInt("local_epochs", &local_epochs, "local epochs E per round");
+  parser->AddDouble("learning_rate", &learning_rate, "local learning rate");
+  parser->AddInt("batch_size", &batch_size,
+                 "local mini-batch size B (0 = full batch)");
+  parser->AddInt("hidden_dim", &hidden_dim, "per-head hidden dimension");
+  parser->AddInt("eval_max_edges", &eval_max_edges,
+                 "test edges sampled per evaluation (0 = all)");
+  parser->AddInt("mrr_negatives", &mrr_negatives,
+                 "ranking candidates per MRR query");
+  parser->AddInt("seed", reinterpret_cast<int64_t*>(&seed),
+                 "base seed for data synthesis and runs");
+  parser->AddString("outdir", &outdir, "directory for CSV outputs");
+  parser->AddBool("paper_scale", &paper_scale,
+                  "use paper-scale datasets (slow)");
+}
+
+double CommonFlags::ResolvedScale() const {
+  if (scale > 0.0) return scale;
+  if (paper_scale) return 1.0;
+  return dataset == "amazon" ? 0.03 : 0.008;
+}
+
+fl::SystemConfig MakeSystemConfig(const CommonFlags& flags, int num_clients) {
+  FEDDA_CHECK(flags.dataset == "dblp" || flags.dataset == "amazon")
+      << "unknown dataset:" << flags.dataset;
+  fl::SystemConfig config;
+  if (flags.dataset == "amazon") {
+    config.data = data::AmazonSpec(flags.ResolvedScale());
+    config.test_fraction = 0.10;  // paper: Amazon 90/10 split
+  } else {
+    config.data = data::DblpSpec(flags.ResolvedScale());
+    config.test_fraction = 0.15;  // paper: DBLP 85/15 split
+  }
+  config.partition.num_clients = num_clients;
+  config.partition.r_a = 0.30;
+  config.partition.r_b = 0.05;
+  // Paper-default Simple-HGN layout: 3 layers, 3 heads, DistMult decoder
+  // (65 parameter groups on the DBLP schema, matching Table 3).
+  config.model.num_layers = 3;
+  config.model.num_heads = 3;
+  config.model.hidden_dim = flags.hidden_dim;
+  config.model.edge_emb_dim = 8;
+  config.model.decoder = hgn::DecoderKind::kDistMult;
+  config.seed = flags.seed;
+  return config;
+}
+
+fl::FlOptions MakeFlOptions(const CommonFlags& flags) {
+  fl::FlOptions options;
+  options.algorithm = fl::FlAlgorithm::kFedAvg;
+  options.rounds = flags.rounds;
+  options.local.local_epochs = flags.local_epochs;
+  options.local.learning_rate = static_cast<float>(flags.learning_rate);
+  options.local.batch_size = flags.batch_size;
+  options.eval.max_edges = flags.eval_max_edges;
+  options.eval.mrr_negatives = flags.mrr_negatives;
+  // Paper best hyper-parameters (Sec. 6.1).
+  options.beta_r = 0.4;
+  options.beta_e = 0.667;
+  options.activation.alpha = 0.5;
+  return options;
+}
+
+std::string OutputPath(const CommonFlags& flags, const std::string& filename) {
+  ::mkdir(flags.outdir.c_str(), 0755);  // best effort; Open reports failures
+  return flags.outdir + "/" + filename;
+}
+
+std::string FormatMeanStd(const metrics::MeanStd& value, int precision) {
+  return core::StrFormat("%.*f +- %.*f", precision, value.mean, precision,
+                         value.std);
+}
+
+}  // namespace fedda::bench

@@ -1,0 +1,52 @@
+#ifndef FEDDA_BENCH_BENCH_COMMON_H_
+#define FEDDA_BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+#include "core/flags.h"
+#include "fl/experiment.h"
+
+namespace fedda::bench {
+
+/// Flags shared by every experiment bench. Defaults are sized so the whole
+/// bench suite finishes in minutes on one core; pass --paper_scale=true (and
+/// larger --runs/--rounds) to approach the paper's setup.
+struct CommonFlags {
+  std::string dataset = "dblp";  // "dblp" or "amazon"
+  double scale = 0.0;            // 0 = per-dataset default
+  int rounds = 20;
+  int runs = 3;
+  int local_epochs = 1;
+  double learning_rate = 5e-3;   // paper uses 5e-4 with many more epochs
+  int64_t batch_size = 0;        // full batch
+  int hidden_dim = 16;
+  int64_t eval_max_edges = 512;
+  int mrr_negatives = 10;
+  uint64_t seed = 7;
+  std::string outdir = "bench_results";
+  bool paper_scale = false;
+
+  /// Registers all flags on `parser`.
+  void Register(core::FlagParser* parser);
+
+  /// Dataset default scale after flag resolution.
+  double ResolvedScale() const;
+};
+
+/// Builds the SystemConfig for these flags with the paper-default model
+/// layout (3 layers, 3 heads, DistMult — 65 parameter groups on DBLP).
+fl::SystemConfig MakeSystemConfig(const CommonFlags& flags, int num_clients);
+
+/// Baseline FlOptions (FedAvg, every-round eval) from the flags; benches
+/// override algorithm/rounds/eval cadence as needed.
+fl::FlOptions MakeFlOptions(const CommonFlags& flags);
+
+/// Creates flags.outdir if missing; returns outdir + "/" + filename.
+std::string OutputPath(const CommonFlags& flags, const std::string& filename);
+
+/// "0.5480 +- 0.0081" rendering used by the table benches.
+std::string FormatMeanStd(const metrics::MeanStd& value, int precision = 4);
+
+}  // namespace fedda::bench
+
+#endif  // FEDDA_BENCH_BENCH_COMMON_H_

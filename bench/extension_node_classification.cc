@@ -1,0 +1,153 @@
+// Extension (paper Sec. 7): FedDA beyond link prediction. Runs federated
+// *node classification* (community recovery) through the task-agnostic
+// runner: same activation machinery, different objective and evaluator.
+// Reports accuracy / macro-F1 and the usual transmission accounting.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "core/csv_writer.h"
+#include "core/string_util.h"
+#include "core/table_printer.h"
+#include "data/generator.h"
+#include "hgn/node_classification.h"
+
+namespace fedda::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  CommonFlags flags;
+  flags.dataset = "amazon";
+  core::FlagParser parser;
+  int num_clients = 6;
+  parser.AddInt("clients", &num_clients, "number of clients M");
+  flags.Register(&parser);
+  const core::Status status = parser.Parse(argc, argv);
+  if (!status.ok()) {
+    return status.code() == core::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+
+  // Data with ground-truth communities as labels.
+  data::SyntheticSpec spec = flags.dataset == "amazon"
+                                 ? data::AmazonSpec(flags.ResolvedScale())
+                                 : data::DblpSpec(flags.ResolvedScale());
+  const int num_classes = spec.num_communities;
+  core::Rng rng(flags.seed);
+  std::vector<int> raw_labels;
+  const graph::HeteroGraph global =
+      data::GenerateGraphWithLabels(spec, &rng, &raw_labels);
+  const std::vector<int32_t> labels(raw_labels.begin(), raw_labels.end());
+  const hgn::NodeSplit node_split =
+      hgn::SplitNodes(global.num_nodes(), 0.3, &rng);
+
+  // Model + reference store (encoder + classification head).
+  hgn::SimpleHgnConfig model_config;
+  model_config.hidden_dim = flags.hidden_dim;
+  model_config.edge_emb_dim = 8;
+  std::vector<int64_t> dims;
+  std::vector<std::string> ntypes, etypes;
+  for (graph::NodeTypeId t = 0; t < global.num_node_types(); ++t) {
+    dims.push_back(global.node_type_info(t).feature_dim);
+    ntypes.push_back(global.node_type_info(t).name);
+  }
+  for (graph::EdgeTypeId t = 0; t < global.num_edge_types(); ++t) {
+    etypes.push_back(global.edge_type_info(t).name);
+  }
+  hgn::SimpleHgn model(dims, ntypes, etypes, model_config);
+  tensor::ParameterStore reference;
+  core::Rng init(flags.seed + 1);
+  model.InitParameters(&reference, &init);
+  hgn::NodeClassificationTask eval_task(&model, &global, labels,
+                                        node_split.train, num_classes);
+  core::Rng head_rng(flags.seed + 2);
+  eval_task.InitHeadParameters(&reference, &head_rng);
+
+  // Clients: biased edge subsets + disjoint label slices.
+  std::vector<std::unique_ptr<graph::HeteroGraph>> local_graphs;
+  auto make_clients = [&]() {
+    std::vector<std::unique_ptr<fl::Client>> clients;
+    core::Rng part_rng(flags.seed + 3);
+    local_graphs.clear();
+    for (int i = 0; i < num_clients; ++i) {
+      std::vector<graph::EdgeId> edges;
+      for (graph::EdgeId e = 0; e < global.num_edges(); ++e) {
+        if (part_rng.Bernoulli(0.35)) edges.push_back(e);
+      }
+      local_graphs.push_back(std::make_unique<graph::HeteroGraph>(
+          global.SubgraphFromEdges(edges)));
+      std::vector<graph::NodeId> local_nodes;
+      for (size_t k = static_cast<size_t>(i); k < node_split.train.size();
+           k += static_cast<size_t>(num_clients)) {
+        local_nodes.push_back(node_split.train[k]);
+      }
+      auto task = std::make_unique<hgn::NodeClassificationTask>(
+          &model, local_graphs.back().get(), labels, std::move(local_nodes),
+          num_classes);
+      core::Rng hr(flags.seed + 2);
+      task->InitHeadParameters(&reference, &hr);
+      clients.push_back(
+          std::make_unique<fl::Client>(i, std::move(task), reference));
+    }
+    return clients;
+  };
+
+  fl::FederatedRunner::Evaluator evaluator =
+      [&](tensor::ParameterStore* store, core::Rng*) {
+        const auto result = eval_task.Evaluate(store, node_split.eval);
+        return std::make_pair(result.accuracy, result.macro_f1);
+      };
+
+  core::TablePrinter table({"Framework", "Accuracy", "Macro-F1",
+                            "Uplink groups", "vs FedAvg"});
+  core::CsvWriter csv;
+  FEDDA_CHECK_OK(csv.Open(
+      OutputPath(flags, "extension_node_classification.csv"),
+      {"framework", "accuracy", "macro_f1", "uplink_groups"}));
+
+  double fedavg_groups = 0.0;
+  for (const auto& [name, algorithm] :
+       std::vector<std::pair<std::string, fl::FlAlgorithm>>{
+           {"FedAvg", fl::FlAlgorithm::kFedAvg},
+           {"FedDA-Restart", fl::FlAlgorithm::kFedDaRestart},
+           {"FedDA-Explore", fl::FlAlgorithm::kFedDaExplore}}) {
+    fl::FlOptions options = MakeFlOptions(flags);
+    options.algorithm = algorithm;
+    options.eval_every_round = false;
+    fl::FederatedRunner runner(make_clients(), evaluator, options);
+    tensor::ParameterStore store = reference;
+    core::Rng run_rng(flags.seed + 10);
+    const fl::FlRunResult result = runner.Run(&store, &run_rng);
+    if (algorithm == fl::FlAlgorithm::kFedAvg) {
+      fedavg_groups = static_cast<double>(result.total_uplink_groups);
+    }
+    table.AddRow(
+        {name, core::FormatDouble(result.final_auc, 4),
+         core::FormatDouble(result.final_mrr, 4),
+         core::FormatWithCommas(result.total_uplink_groups),
+         core::StrFormat("%.1f%%",
+                         100.0 * static_cast<double>(
+                                     result.total_uplink_groups) /
+                             std::max(1.0, fedavg_groups))});
+    csv.WriteRow(std::vector<std::string>{
+        name, core::FormatDouble(result.final_auc, 6),
+        core::FormatDouble(result.final_mrr, 6),
+        std::to_string(result.total_uplink_groups)});
+    std::cout << "." << std::flush;
+  }
+
+  std::cout << "\n\n=== Extension: federated node classification ("
+            << flags.dataset << ", " << num_classes << " classes, M="
+            << num_clients << ") ===\n";
+  table.Print();
+  std::cout << "\nThe same dynamic-activation machinery transfers to a "
+               "different objective:\nFedDA keeps accuracy near FedAvg's "
+               "while transmitting fewer parameters\n(chance accuracy = "
+            << core::FormatDouble(1.0 / num_classes, 3) << ").\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedda::bench
+
+int main(int argc, char** argv) { return fedda::bench::Main(argc, argv); }

@@ -1,0 +1,92 @@
+// Reproduces Fig. 2: the motivating preliminary study. Runs Simple-HGN
+// under vanilla FedAvg with random client activation rate C (Fig. 2a/2b)
+// and random parameter activation rate D (Fig. 2c/2d), on IID vs Non-IID
+// (biased) client splits. For each configuration the best (max) and worst
+// (min) per-round test AUC over the repeated runs is reported — the solid
+// and dotted lines of the figure.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/csv_writer.h"
+#include "core/string_util.h"
+#include "core/table_printer.h"
+
+namespace fedda::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  CommonFlags flags;
+  flags.runs = 5;  // the paper reports max/min over five runs
+  core::FlagParser parser;
+  int num_clients = 6;
+  parser.AddInt("clients", &num_clients, "number of clients M");
+  flags.Register(&parser);
+  const core::Status status = parser.Parse(argc, argv);
+  if (!status.ok()) {
+    return status.code() == core::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+
+  const std::vector<double> fractions = {1.0, 0.8, 0.67};
+
+  core::CsvWriter csv;
+  FEDDA_CHECK_OK(csv.Open(OutputPath(flags, "fig2_preliminary.csv"),
+                          {"split", "sweep", "fraction", "round", "min_auc",
+                           "mean_auc", "max_auc"}));
+  core::TablePrinter table({"Split", "Sweep", "Rate", "Final max AUC",
+                            "Final min AUC", "Spread"});
+
+  for (const bool iid : {true, false}) {
+    CommonFlags local = flags;
+    fl::SystemConfig config = MakeSystemConfig(local, num_clients);
+    config.partition.iid = iid;
+    const fl::FederatedSystem system = fl::FederatedSystem::Build(config);
+    const std::string split = iid ? "iid" : "biased";
+
+    for (const std::string& sweep : {std::string("client"),
+                                    std::string("param")}) {
+      for (double fraction : fractions) {
+        fl::FlOptions options = MakeFlOptions(local);
+        if (sweep == "client") {
+          options.client_fraction = fraction;
+        } else {
+          options.param_fraction = fraction;
+        }
+        const fl::RepeatedSummary summary = Summarize(
+            RunFederatedRepeated(system, options, flags.runs, 5000));
+        for (size_t t = 0; t < summary.mean_auc_per_round.size(); ++t) {
+          csv.WriteRow(std::vector<std::string>{
+              split, sweep, core::FormatDouble(fraction, 2),
+              std::to_string(t),
+              core::FormatDouble(summary.min_auc_per_round[t], 6),
+              core::FormatDouble(summary.mean_auc_per_round[t], 6),
+              core::FormatDouble(summary.max_auc_per_round[t], 6)});
+        }
+        const double last_max = summary.max_auc_per_round.back();
+        const double last_min = summary.min_auc_per_round.back();
+        table.AddRow({split, sweep, core::StrFormat("%.0f%%", fraction * 100),
+                      core::FormatDouble(last_max, 4),
+                      core::FormatDouble(last_min, 4),
+                      core::FormatDouble(last_max - last_min, 4)});
+        std::cout << "." << std::flush;
+      }
+      table.AddSeparator();
+    }
+  }
+
+  std::cout << "\n\n=== Fig. 2: FedAvg with random activation rates (C = "
+               "client, D = parameter) ===\n";
+  table.Print();
+  std::cout
+      << "\nPaper shape check (Obs. 1 & 2): partial activation (80%/67%) "
+         "reaches max-AUC\ncomparable to 100%, but the min-AUC degrades — "
+         "especially on the biased split —\ni.e. random activation is "
+         "unstable, motivating FedDA's informed activation.\nPer-round "
+         "curves: bench_results/fig2_preliminary.csv\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedda::bench
+
+int main(int argc, char** argv) { return fedda::bench::Main(argc, argv); }

@@ -1,0 +1,85 @@
+// Microbenchmarks for the heterograph substrate and data synthesis.
+
+#include <benchmark/benchmark.h>
+
+#include "data/generator.h"
+#include "data/partition.h"
+#include "data/schema.h"
+#include "graph/sampling.h"
+#include "graph/split.h"
+
+namespace fedda::graph {
+namespace {
+
+data::SyntheticSpec SpecForScale(double scale) {
+  return data::AmazonSpec(scale);
+}
+
+void BM_GenerateGraph(benchmark::State& state) {
+  const double scale = static_cast<double>(state.range(0)) / 1000.0;
+  const data::SyntheticSpec spec = SpecForScale(scale);
+  for (auto _ : state) {
+    core::Rng rng(1);
+    benchmark::DoNotOptimize(data::GenerateGraph(spec, &rng));
+  }
+}
+BENCHMARK(BM_GenerateGraph)->Arg(20)->Arg(100);
+
+void BM_SubgraphFromEdges(benchmark::State& state) {
+  core::Rng rng(2);
+  const HeteroGraph g = data::GenerateGraph(SpecForScale(0.1), &rng);
+  std::vector<EdgeId> half;
+  for (EdgeId e = 0; e < g.num_edges(); e += 2) half.push_back(e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.SubgraphFromEdges(half));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(half.size()));
+}
+BENCHMARK(BM_SubgraphFromEdges);
+
+void BM_NegativeSampling(benchmark::State& state) {
+  core::Rng rng(3);
+  const HeteroGraph g = data::GenerateGraph(SpecForScale(0.1), &rng);
+  const NegativeSampler sampler(&g);
+  core::Rng sample_rng(4);
+  int64_t i = 0;
+  for (auto _ : state) {
+    const EdgeId e = i++ % g.num_edges();
+    benchmark::DoNotOptimize(sampler.CorruptDst(
+        g.edge_src(e), g.edge_dst(e), g.edge_type(e), &sample_rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NegativeSampling);
+
+void BM_SplitEdges(benchmark::State& state) {
+  core::Rng rng(5);
+  const HeteroGraph g = data::GenerateGraph(SpecForScale(0.1), &rng);
+  for (auto _ : state) {
+    core::Rng split_rng(6);
+    benchmark::DoNotOptimize(SplitEdges(g, 0.1, &split_rng));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_SplitEdges);
+
+void BM_PartitionClients(benchmark::State& state) {
+  core::Rng rng(7);
+  const HeteroGraph g = data::GenerateGraph(SpecForScale(0.1), &rng);
+  core::Rng split_rng(8);
+  const EdgeSplit split = SplitEdges(g, 0.1, &split_rng);
+  data::PartitionOptions options;
+  options.num_clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::Rng part_rng(9);
+    benchmark::DoNotOptimize(
+        data::PartitionClients(g, split.train, options, &part_rng));
+  }
+}
+BENCHMARK(BM_PartitionClients)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace fedda::graph
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Microbenchmarks for the tensor/autograd substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "tensor/ops.h"
+#include "tensor/parameter_store.h"
+
+namespace fedda::tensor {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  core::Rng rng(1);
+  const Tensor a = Tensor::RandomNormal(n, n, &rng);
+  const Tensor b = Tensor::RandomNormal(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulValue(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GatherRows(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  core::Rng rng(2);
+  Graph g(false);
+  Var a = g.Constant(Tensor::RandomNormal(rows, 32, &rng));
+  std::vector<int32_t> idx(static_cast<size_t>(rows) * 2);
+  for (auto& i : idx) {
+    i = static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(rows)));
+  }
+  auto indices = MakeIndices(std::move(idx));
+  for (auto _ : state) {
+    Graph local(false);
+    Var v = local.Constant(g.value(a));
+    benchmark::DoNotOptimize(GatherRows(&local, v, indices));
+  }
+}
+BENCHMARK(BM_GatherRows)->Arg(1024)->Arg(8192);
+
+void BM_SegmentSoftmax(benchmark::State& state) {
+  const int64_t edges = state.range(0);
+  const int64_t nodes = edges / 8;
+  core::Rng rng(3);
+  Tensor logits = Tensor::RandomNormal(edges, 1, &rng);
+  std::vector<int32_t> seg(static_cast<size_t>(edges));
+  for (auto& s : seg) {
+    s = static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(nodes)));
+  }
+  auto segments = MakeIndices(std::move(seg));
+  for (auto _ : state) {
+    Graph g(false);
+    Var v = g.Constant(logits);
+    benchmark::DoNotOptimize(SegmentSoftmax(&g, v, segments, nodes));
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_SegmentSoftmax)->Arg(4096)->Arg(32768);
+
+void BM_ForwardBackwardMlp(benchmark::State& state) {
+  // Two-layer MLP forward+backward through the tape: measures the autograd
+  // overhead relative to raw matmuls.
+  const int64_t n = state.range(0);
+  core::Rng rng(4);
+  ParameterStore store;
+  const int w1 = store.Register("w1", Tensor::GlorotUniform(64, 64, &rng));
+  const int w2 = store.Register("w2", Tensor::GlorotUniform(64, 1, &rng));
+  const Tensor x = Tensor::RandomNormal(n, 64, &rng);
+  const Tensor y = Tensor::RandomNormal(n, 1, &rng);
+  for (auto _ : state) {
+    store.ZeroGrads();
+    Graph g(true);
+    Var h = Tanh(&g, MatMul(&g, g.Constant(x),
+                            g.Leaf(store.value(w1), &store.grad(w1))));
+    Var pred = MatMul(&g, h, g.Leaf(store.value(w2), &store.grad(w2)));
+    Var err = Sub(&g, pred, g.Constant(y));
+    Var loss = Mean(&g, Mul(&g, err, err));
+    g.Backward(loss);
+    benchmark::DoNotOptimize(store.grad(w1).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ForwardBackwardMlp)->Arg(256)->Arg(2048);
+
+void BM_RowL2Normalize(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  core::Rng rng(5);
+  const Tensor x = Tensor::RandomNormal(rows, 64, &rng);
+  for (auto _ : state) {
+    Graph g(false);
+    benchmark::DoNotOptimize(RowL2Normalize(&g, g.Constant(x)));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_RowL2Normalize)->Arg(4096);
+
+}  // namespace
+}  // namespace fedda::tensor
+
+BENCHMARK_MAIN();

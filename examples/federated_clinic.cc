@@ -1,0 +1,116 @@
+// The paper's motivating scenario (Fig. 1): clinics hold biased clinical
+// heterographs — a heart clinic records mostly patient-procedure links, a
+// psychology clinic mostly patient-disease links — and want a global link
+// prediction model (e.g. drug recommendation) without sharing raw data.
+//
+// This example builds a clinical heterograph schema, synthesizes Non-IID
+// clinic shards with the paper's r_a/r_b protocol, and compares FedAvg
+// against FedDA (both strategies) on quality and transmitted parameters.
+//
+//   ./build/examples/federated_clinic [--clients=8] [--rounds=15]
+
+#include <iostream>
+
+#include "core/flags.h"
+#include "core/string_util.h"
+#include "core/table_printer.h"
+#include "fl/experiment.h"
+
+using namespace fedda;  // example code; library code never does this
+
+int main(int argc, char** argv) {
+  int clients = 8;
+  int rounds = 15;
+  int runs = 2;
+  core::FlagParser flags;
+  flags.AddInt("clients", &clients, "number of clinics");
+  flags.AddInt("rounds", &rounds, "communication rounds");
+  flags.AddInt("runs", &runs, "repetitions");
+  if (core::Status s = flags.Parse(argc, argv); !s.ok()) {
+    return s.code() == core::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+
+  // 1. A clinical heterograph schema: patients, drugs, procedures, and
+  //    diseases, with four clinical link types (Fig. 1 of the paper).
+  data::SyntheticSpec clinical;
+  clinical.name = "clinical";
+  clinical.node_types = {
+      {"patient", 600, 32}, {"drug", 150, 16},
+      {"procedure", 100, 16}, {"disease", 120, 16}};
+  clinical.edge_types = {
+      {"takes-drug", 0, 1, 4000, 1.0, 0.8},
+      {"had-procedure", 0, 2, 2500, 1.1, 0.8},
+      {"diagnosed-with", 0, 3, 3000, 1.0, 0.85},
+      {"patient-contact", 0, 0, 1500, 1.2, 0.9}};
+  clinical.num_communities = 6;
+
+  // 2. Materialize the distributed system: each clinic specializes in a
+  //    random subset of link types (heart clinics see procedures,
+  //    psychology clinics see diagnoses, ...) and samples r_a = 30% of
+  //    those links but only r_b = 5% of the rest.
+  fl::SystemConfig config;
+  config.data = clinical;
+  config.test_fraction = 0.15;
+  config.partition.num_clients = clients;
+  config.partition.r_a = 0.30;
+  config.partition.r_b = 0.05;
+  config.model.num_layers = 2;
+  config.model.num_heads = 2;
+  config.model.hidden_dim = 16;
+  config.model.edge_emb_dim = 8;
+  config.seed = 2026;
+  const fl::FederatedSystem system = fl::FederatedSystem::Build(config);
+
+  std::cout << "Clinical system: " << system.global().num_nodes()
+            << " nodes, " << system.global().num_edges() << " links, "
+            << clients << " clinics\n";
+  for (int i = 0; i < system.num_clients(); ++i) {
+    std::string names;
+    for (graph::EdgeTypeId t : system.shards()[size_t(i)].specialties) {
+      if (!names.empty()) names += ", ";
+      names += system.global().edge_type_info(t).name;
+    }
+    std::cout << "  clinic " << i << " specializes in {" << names << "} ("
+              << system.shards()[size_t(i)].local_edges.size()
+              << " local links)\n";
+  }
+
+  // 3. Compare frameworks.
+  fl::FlOptions base;
+  base.rounds = rounds;
+  base.local.local_epochs = 1;
+  base.local.learning_rate = 5e-3f;
+  base.eval.mrr_negatives = 10;
+  base.eval.max_edges = 400;
+  base.eval_every_round = false;
+
+  core::TablePrinter table({"Framework", "ROC-AUC", "MRR",
+                            "Transmitted groups", "vs FedAvg"});
+  double fedavg_groups = 0.0;
+  for (const auto& [name, algorithm] :
+       std::vector<std::pair<std::string, fl::FlAlgorithm>>{
+           {"FedAvg", fl::FlAlgorithm::kFedAvg},
+           {"FedDA (Restart)", fl::FlAlgorithm::kFedDaRestart},
+           {"FedDA (Explore)", fl::FlAlgorithm::kFedDaExplore}}) {
+    fl::FlOptions options = base;
+    options.algorithm = algorithm;
+    const fl::RepeatedSummary summary =
+        Summarize(RunFederatedRepeated(system, options, runs, 1));
+    if (algorithm == fl::FlAlgorithm::kFedAvg) {
+      fedavg_groups = summary.mean_total_uplink_groups;
+    }
+    table.AddRow(
+        {name, core::FormatDouble(summary.final_auc.mean, 4),
+         core::FormatDouble(summary.final_mrr.mean, 4),
+         core::FormatWithCommas(
+             static_cast<int64_t>(summary.mean_total_uplink_groups)),
+         core::StrFormat("%.1f%%", 100.0 * summary.mean_total_uplink_groups /
+                                       fedavg_groups)});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n";
+  table.Print();
+  std::cout << "\nFedDA reaches comparable quality while the clinics "
+               "transmit fewer parameters.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Node classification with Simple-HGN: recover each node's latent community
+// from features + typed structure. Shows the second task the library
+// supports and the checkpoint workflow (train -> save -> restore -> serve).
+//
+//   ./build/examples/node_classification
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/string_util.h"
+#include "data/generator.h"
+#include "data/schema.h"
+#include "hgn/node_classification.h"
+#include "tensor/checkpoint.h"
+
+using namespace fedda;  // example code; library code never does this
+
+int main() {
+  // 1. Synthesize a DBLP-schema heterograph; communities double as labels.
+  data::SyntheticSpec spec = data::DblpSpec(0.004);
+  spec.num_communities = 6;
+  core::Rng rng(2026);
+  std::vector<int> raw_labels;
+  const graph::HeteroGraph graph =
+      data::GenerateGraphWithLabels(spec, &rng, &raw_labels);
+  const std::vector<int32_t> labels(raw_labels.begin(), raw_labels.end());
+  std::cout << "Graph: " << graph.num_nodes() << " nodes / "
+            << graph.num_edges() << " edges, " << spec.num_communities
+            << " latent communities as labels\n";
+
+  // 2. 70/30 node split, model + classification head.
+  const hgn::NodeSplit split = hgn::SplitNodes(graph.num_nodes(), 0.3, &rng);
+  hgn::SimpleHgnConfig config;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.hidden_dim = 16;
+  config.edge_emb_dim = 8;
+  std::vector<int64_t> dims;
+  std::vector<std::string> ntypes, etypes;
+  for (graph::NodeTypeId t = 0; t < graph.num_node_types(); ++t) {
+    dims.push_back(graph.node_type_info(t).feature_dim);
+    ntypes.push_back(graph.node_type_info(t).name);
+  }
+  for (graph::EdgeTypeId t = 0; t < graph.num_edge_types(); ++t) {
+    etypes.push_back(graph.edge_type_info(t).name);
+  }
+  hgn::SimpleHgn model(dims, ntypes, etypes, config);
+  tensor::ParameterStore params;
+  core::Rng init(1);
+  model.InitParameters(&params, &init);
+  hgn::NodeClassificationTask task(&model, &graph, labels, split.train,
+                                   spec.num_communities);
+  task.InitHeadParameters(&params, &init);
+
+  // 3. Train, reporting accuracy along the way.
+  hgn::TrainOptions train;
+  train.local_epochs = 1;
+  train.learning_rate = 5e-3f;
+  for (int epoch = 0; epoch <= 15; ++epoch) {
+    if (epoch % 5 == 0) {
+      const auto eval = task.Evaluate(&params, split.eval);
+      std::cout << core::StrFormat(
+          "epoch %2d  accuracy %.4f  macro-F1 %.4f\n", epoch, eval.accuracy,
+          eval.macro_f1);
+    }
+    task.TrainRound(&params, train, &rng);
+  }
+
+  // 4. Checkpoint round trip: the deployed model is bit-identical.
+  const std::string path = "/tmp/fedda_node_classification.ckpt";
+  FEDDA_CHECK_OK(tensor::SaveCheckpoint(params, path));
+  tensor::ParameterStore restored;
+  FEDDA_CHECK_OK(tensor::LoadCheckpoint(path, &restored));
+  const auto final_eval = task.Evaluate(&restored, split.eval);
+  std::remove(path.c_str());
+  std::cout << core::StrFormat(
+      "\nrestored checkpoint: accuracy %.4f macro-F1 %.4f (chance %.3f)\n",
+      final_eval.accuracy, final_eval.macro_f1,
+      1.0 / spec.num_communities);
+  return 0;
+}

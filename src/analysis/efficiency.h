@@ -1,0 +1,64 @@
+#ifndef FEDDA_ANALYSIS_EFFICIENCY_H_
+#define FEDDA_ANALYSIS_EFFICIENCY_H_
+
+#include <cstdint>
+
+#include "fl/runner.h"
+
+namespace fedda::analysis {
+
+/// Inputs of the paper's communication-efficiency analysis (Sec. 5.4.3).
+struct EfficiencyParams {
+  /// Number of clients M.
+  int num_clients = 0;
+  /// Total parameter groups N.
+  int64_t total_params = 0;
+  /// Disentangled parameter groups N_d.
+  int64_t disentangled_params = 0;
+  /// Expected fraction of clients remaining active after each round (r_c).
+  double r_c = 0.9;
+  /// Expected fraction of deactivated (disentangled) parameters (r_p).
+  double r_p = 0.3;
+};
+
+/// Expected rounds before a Restart re-initialization: the smallest t0 with
+/// r_c^t0 <= beta_r (paper: t0 >= log_{r_c} beta_r).
+int RestartExpectedRounds(double r_c, double beta_r);
+
+/// Eq. 8: expected communicated parameters over one Restart cycle.
+double RestartExpectedComm(const EfficiencyParams& params, double beta_r);
+
+/// Eq. 9: Restart's expected communication relative to vanilla FedAvg over
+/// the same t0 rounds (1.0 = no saving).
+double RestartCommRatio(const EfficiencyParams& params, double beta_r);
+
+/// Eq. 10: Explore's expected communicated parameters per round (from round
+/// two on). `gamma` is the fraction of active clients that were already
+/// active before the last round; `rp_hat` is their (higher) expected
+/// deactivated-parameter fraction. The paper's Eq. 10 subtracts the
+/// (1 - gamma) term — a sign typo, since the two client groups partition the
+/// active set — so this implements the corrected sum; see DESIGN.md.
+double ExploreExpectedCommPerRound(const EfficiencyParams& params,
+                                   double beta_e, double gamma,
+                                   double rp_hat);
+
+/// Eq. 11: upper bound on Explore's per-round communication relative to
+/// vanilla FedAvg: beta_e - beta_e * r_c * r_p * N_d / N.
+double ExploreCommRatioBound(const EfficiencyParams& params, double beta_e);
+
+/// Empirical rates measured from a finished run, for validating the
+/// closed forms against the simulator.
+struct MeasuredRates {
+  /// Mean over rounds of (active clients after round) / M.
+  double r_c = 0.0;
+  /// Mean over client-rounds of deactivated disentangled groups / N_d.
+  double r_p = 0.0;
+  /// Measured uplink relative to FedAvg's M * N per round.
+  double comm_ratio = 0.0;
+};
+MeasuredRates MeasureRates(const fl::FlRunResult& result, int num_clients,
+                           int64_t total_params, int64_t disentangled_params);
+
+}  // namespace fedda::analysis
+
+#endif  // FEDDA_ANALYSIS_EFFICIENCY_H_

@@ -1,0 +1,112 @@
+#include "core/binary_io.h"
+
+namespace fedda::core {
+
+namespace {
+constexpr size_t kMaxStringLength = 1 << 20;
+}  // namespace
+
+Status BinaryWriter::Open(const std::string& path) {
+  out_.open(path, std::ios::out | std::ios::trunc | std::ios::binary);
+  if (!out_.is_open()) {
+    status_ = Status::IoError("cannot open for writing: " + path);
+  }
+  return status_;
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t size) {
+  if (!status_.ok()) return;
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(size));
+  if (!out_.good()) status_ = Status::IoError("write failed");
+}
+
+void BinaryWriter::WriteU32(uint32_t value) { WriteRaw(&value, sizeof(value)); }
+void BinaryWriter::WriteU64(uint64_t value) { WriteRaw(&value, sizeof(value)); }
+void BinaryWriter::WriteI64(int64_t value) { WriteRaw(&value, sizeof(value)); }
+void BinaryWriter::WriteFloat(float value) { WriteRaw(&value, sizeof(value)); }
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteU32(static_cast<uint32_t>(value.size()));
+  WriteRaw(value.data(), value.size());
+}
+
+void BinaryWriter::WriteFloats(const std::vector<float>& values) {
+  WriteRaw(values.data(), values.size() * sizeof(float));
+}
+
+Status BinaryWriter::Close() {
+  if (out_.is_open()) {
+    out_.flush();
+    if (!out_.good() && status_.ok()) {
+      status_ = Status::IoError("flush failed");
+    }
+    out_.close();
+  }
+  return status_;
+}
+
+Status BinaryReader::Open(const std::string& path) {
+  in_.open(path, std::ios::in | std::ios::binary);
+  if (!in_.is_open()) {
+    status_ = Status::IoError("cannot open for reading: " + path);
+  }
+  return status_;
+}
+
+void BinaryReader::ReadRaw(void* data, size_t size) {
+  if (!status_.ok()) return;
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (in_.gcount() != static_cast<std::streamsize>(size)) {
+    status_ = Status::IoError("unexpected end of file");
+  }
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t value = 0;
+  ReadRaw(&value, sizeof(value));
+  return value;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint64_t value = 0;
+  ReadRaw(&value, sizeof(value));
+  return value;
+}
+
+int64_t BinaryReader::ReadI64() {
+  int64_t value = 0;
+  ReadRaw(&value, sizeof(value));
+  return value;
+}
+
+float BinaryReader::ReadFloat() {
+  float value = 0.0f;
+  ReadRaw(&value, sizeof(value));
+  return value;
+}
+
+std::string BinaryReader::ReadString() {
+  const uint32_t length = ReadU32();
+  if (!status_.ok()) return {};
+  if (length > kMaxStringLength) {
+    status_ = Status::IoError("string length implausible (corrupt file?)");
+    return {};
+  }
+  std::string value(length, '\0');
+  ReadRaw(value.data(), length);
+  return value;
+}
+
+std::vector<float> BinaryReader::ReadFloats(size_t count) {
+  std::vector<float> values(count, 0.0f);
+  ReadRaw(values.data(), count * sizeof(float));
+  return values;
+}
+
+bool BinaryReader::AtEof() {
+  if (!status_.ok()) return false;
+  return in_.peek() == std::char_traits<char>::eof();
+}
+
+}  // namespace fedda::core

@@ -1,0 +1,78 @@
+#ifndef FEDDA_CORE_BINARY_IO_H_
+#define FEDDA_CORE_BINARY_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace fedda::core {
+
+/// Little-endian binary writer for checkpoint files. All write methods are
+/// no-ops after the first failure; check `status()` (or the Close() result)
+/// once at the end rather than after every call.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+  ~BinaryWriter() { Close(); }
+
+  /// Opens `path` for writing (truncates).
+  Status Open(const std::string& path);
+
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteI64(int64_t value);
+  void WriteFloat(float value);
+  /// Length-prefixed UTF-8 string.
+  void WriteString(const std::string& value);
+  /// Raw float block (no length prefix; callers write the count first).
+  void WriteFloats(const std::vector<float>& values);
+
+  const Status& status() const { return status_; }
+
+  /// Flushes and closes; returns the accumulated status.
+  Status Close();
+
+ private:
+  void WriteRaw(const void* data, size_t size);
+
+  std::ofstream out_;
+  Status status_;
+};
+
+/// Little-endian binary reader matching BinaryWriter. Read methods return
+/// defaults after the first failure; check `status()` at the end.
+class BinaryReader {
+ public:
+  BinaryReader() = default;
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  Status Open(const std::string& path);
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int64_t ReadI64();
+  float ReadFloat();
+  std::string ReadString();
+  /// Reads exactly `count` floats.
+  std::vector<float> ReadFloats(size_t count);
+
+  const Status& status() const { return status_; }
+  /// True when the stream is positioned at end-of-file with no errors.
+  bool AtEof();
+
+ private:
+  void ReadRaw(void* data, size_t size);
+
+  std::ifstream in_;
+  Status status_;
+};
+
+}  // namespace fedda::core
+
+#endif  // FEDDA_CORE_BINARY_IO_H_

@@ -1,0 +1,59 @@
+#ifndef FEDDA_CORE_CHECK_H_
+#define FEDDA_CORE_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace fedda::core::internal {
+
+/// Stream sink that prints the accumulated message and aborts on
+/// destruction. Used only by the FEDDA_CHECK* macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failure at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace fedda::core::internal
+
+/// Aborts with a diagnostic when `condition` is false. For invariants and
+/// programmer errors (the library does not use exceptions). Additional
+/// context can be streamed: FEDDA_CHECK(x > 0) << "x=" << x;
+#define FEDDA_CHECK(condition)                                        \
+  if (!(condition))                                                   \
+  ::fedda::core::internal::CheckFailureStream("FEDDA_CHECK", __FILE__, \
+                                              __LINE__, #condition)
+
+#define FEDDA_CHECK_EQ(a, b) FEDDA_CHECK((a) == (b)) << #a << "=" << (a) << ","
+#define FEDDA_CHECK_NE(a, b) FEDDA_CHECK((a) != (b))
+#define FEDDA_CHECK_LT(a, b) FEDDA_CHECK((a) < (b)) << #a << "=" << (a) << ","
+#define FEDDA_CHECK_LE(a, b) FEDDA_CHECK((a) <= (b)) << #a << "=" << (a) << ","
+#define FEDDA_CHECK_GT(a, b) FEDDA_CHECK((a) > (b)) << #a << "=" << (a) << ","
+#define FEDDA_CHECK_GE(a, b) FEDDA_CHECK((a) >= (b)) << #a << "=" << (a) << ","
+
+/// Aborts if `status_expr` does not evaluate to an OK status.
+#define FEDDA_CHECK_OK(status_expr)                                       \
+  do {                                                                    \
+    const ::fedda::core::Status _s = (status_expr);                       \
+    FEDDA_CHECK(_s.ok()) << _s.ToString();                                \
+  } while (0)
+
+#endif  // FEDDA_CORE_CHECK_H_

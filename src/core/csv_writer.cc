@@ -1,0 +1,59 @@
+#include "core/csv_writer.h"
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace fedda::core {
+
+Status CsvWriter::Open(const std::string& path,
+                       const std::vector<std::string>& header) {
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_.is_open()) {
+    return Status::IoError("cannot open CSV file for writing: " + path);
+  }
+  WriteRow(header);
+  return Status::OK();
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  FEDDA_CHECK(out_.is_open()) << "CsvWriter::WriteRow before Open";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << EscapeField(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(FormatDouble(v, 6));
+  WriteRow(fields);
+}
+
+void CsvWriter::Close() {
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+}
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace fedda::core

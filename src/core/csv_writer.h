@@ -1,0 +1,44 @@
+#ifndef FEDDA_CORE_CSV_WRITER_H_
+#define FEDDA_CORE_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace fedda::core {
+
+/// Writes rows of experiment results to a CSV file. Fields containing
+/// commas, quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Opens `path` for writing (truncates) and emits `header` as first row.
+  Status Open(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row. Must be called after a successful Open().
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: formats every double with 6 decimals.
+  void WriteRow(const std::vector<double>& values);
+
+  /// Flushes and closes. Safe to call multiple times.
+  void Close();
+
+  bool is_open() const { return out_.is_open(); }
+
+  ~CsvWriter() { Close(); }
+
+ private:
+  static std::string EscapeField(const std::string& field);
+
+  std::ofstream out_;
+};
+
+}  // namespace fedda::core
+
+#endif  // FEDDA_CORE_CSV_WRITER_H_

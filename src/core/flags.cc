@@ -1,0 +1,131 @@
+#include "core/flags.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace fedda::core {
+
+void FlagParser::Register(const std::string& name, Kind kind, void* target,
+                          const std::string& help,
+                          std::string default_value) {
+  FEDDA_CHECK(flags_.find(name) == flags_.end())
+      << "duplicate flag:" << name;
+  flags_[name] = Flag{kind, target, help, std::move(default_value)};
+}
+
+void FlagParser::AddInt(const std::string& name, int64_t* value,
+                        const std::string& help) {
+  Register(name, Kind::kInt64, value, help, std::to_string(*value));
+}
+
+void FlagParser::AddInt(const std::string& name, int* value,
+                        const std::string& help) {
+  Register(name, Kind::kInt, value, help, std::to_string(*value));
+}
+
+void FlagParser::AddDouble(const std::string& name, double* value,
+                           const std::string& help) {
+  Register(name, Kind::kDouble, value, help, FormatDouble(*value, 4));
+}
+
+void FlagParser::AddBool(const std::string& name, bool* value,
+                         const std::string& help) {
+  Register(name, Kind::kBool, value, help, *value ? "true" : "false");
+}
+
+void FlagParser::AddString(const std::string& name, std::string* value,
+                           const std::string& help) {
+  Register(name, Kind::kString, value, help, *value);
+}
+
+Status FlagParser::SetValue(Flag* flag, const std::string& text,
+                            const std::string& name) {
+  char* end = nullptr;
+  switch (flag->kind) {
+    case Kind::kInt64: {
+      int64_t v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad integer for --" + name + ": " +
+                                       text);
+      }
+      *static_cast<int64_t*>(flag->target) = v;
+      return Status::OK();
+    }
+    case Kind::kInt: {
+      long v = std::strtol(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad integer for --" + name + ": " +
+                                       text);
+      }
+      *static_cast<int*>(flag->target) = static_cast<int>(v);
+      return Status::OK();
+    }
+    case Kind::kDouble: {
+      double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad double for --" + name + ": " +
+                                       text);
+      }
+      *static_cast<double*>(flag->target) = v;
+      return Status::OK();
+    }
+    case Kind::kBool: {
+      if (text == "true" || text == "1") {
+        *static_cast<bool*>(flag->target) = true;
+      } else if (text == "false" || text == "0") {
+        *static_cast<bool*>(flag->target) = false;
+      } else {
+        return Status::InvalidArgument("bad bool for --" + name + ": " + text);
+      }
+      return Status::OK();
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(flag->target) = text;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << Usage();
+      return Status(StatusCode::kFailedPrecondition, "help requested");
+    }
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected argument: " + arg);
+    }
+    const size_t eq = arg.find('=');
+    std::string name, value;
+    if (eq == std::string::npos) {
+      // `--flag` alone is allowed for bools (meaning true).
+      name = arg.substr(2);
+      value = "true";
+    } else {
+      name = arg.substr(2, eq - 2);
+      value = arg.substr(eq + 1);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + name + "\n" +
+                                     Usage());
+    }
+    FEDDA_RETURN_IF_ERROR(SetValue(&it->second, value, name));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage() const {
+  std::string out = "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + "  (default: " + flag.default_value + ")  " +
+           flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace fedda::core

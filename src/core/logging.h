@@ -1,0 +1,44 @@
+#ifndef FEDDA_CORE_LOGGING_H_
+#define FEDDA_CORE_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fedda::core {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the process-wide minimum level below which log lines are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log line: buffers the message and emits it (with level tag) on
+/// destruction, so `FEDDA_LOG(kInfo) << "x=" << x;` is a single atomic write.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fedda::core
+
+#define FEDDA_LOG(level)                                            \
+  if (::fedda::core::LogLevel::level >= ::fedda::core::GetLogLevel()) \
+  ::fedda::core::internal::LogMessage(::fedda::core::LogLevel::level, \
+                                      __FILE__, __LINE__)
+
+#endif  // FEDDA_CORE_LOGGING_H_

@@ -1,0 +1,31 @@
+#ifndef FEDDA_CORE_STRING_UTIL_H_
+#define FEDDA_CORE_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace fedda::core {
+
+/// Splits `text` on `delimiter`; keeps empty fields.
+std::vector<std::string> Split(const std::string& text, char delimiter);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& separator);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with `precision` decimal digits.
+std::string FormatDouble(double value, int precision);
+
+/// Formats an integer with thousands separators ("12,345").
+std::string FormatWithCommas(int64_t value);
+
+/// Whether `text` starts with `prefix`.
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+}  // namespace fedda::core
+
+#endif  // FEDDA_CORE_STRING_UTIL_H_

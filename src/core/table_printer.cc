@@ -1,0 +1,63 @@
+#include "core/table_printer.h"
+
+#include <algorithm>
+#include <iostream>
+
+namespace fedda::core {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  Row r;
+  r.cells = std::move(row);
+  r.separator_before = pending_separator_;
+  pending_separator_ = false;
+  rows_.push_back(std::move(r));
+}
+
+void TablePrinter::AddSeparator() { pending_separator_ = true; }
+
+std::string TablePrinter::ToString() const {
+  size_t num_cols = header_.size();
+  for (const auto& row : rows_) num_cols = std::max(num_cols, row.cells.size());
+
+  std::vector<size_t> widths(num_cols, 0);
+  auto account = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row.cells);
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t i = 0; i < num_cols; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      line += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  auto render_separator = [&]() {
+    std::string line = "+";
+    for (size_t i = 0; i < num_cols; ++i) {
+      line += std::string(widths[i] + 2, '-') + "+";
+    }
+    return line + "\n";
+  };
+
+  std::string out = render_separator();
+  out += render_line(header_);
+  out += render_separator();
+  for (const auto& row : rows_) {
+    if (row.separator_before) out += render_separator();
+    out += render_line(row.cells);
+  }
+  out += render_separator();
+  return out;
+}
+
+void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+
+}  // namespace fedda::core

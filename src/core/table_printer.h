@@ -1,0 +1,39 @@
+#ifndef FEDDA_CORE_TABLE_PRINTER_H_
+#define FEDDA_CORE_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace fedda::core {
+
+/// Accumulates rows and prints a column-aligned ASCII table, used by the
+/// bench harness to render paper-style tables on stdout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  /// Renders the table (header, separator, rows).
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace fedda::core
+
+#endif  // FEDDA_CORE_TABLE_PRINTER_H_

@@ -1,0 +1,49 @@
+#ifndef FEDDA_CORE_THREAD_POOL_H_
+#define FEDDA_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fedda::core {
+
+/// Fixed-size worker pool used to run independent client updates in
+/// parallel. With num_threads == 0 the pool degenerates to inline execution
+/// (useful on single-core hosts and for deterministic debugging).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw (the library is exception-free).
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until every scheduled task has finished.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n), distributing across the pool, and waits.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace fedda::core
+
+#endif  // FEDDA_CORE_THREAD_POOL_H_

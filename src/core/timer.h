@@ -1,0 +1,30 @@
+#ifndef FEDDA_CORE_TIMER_H_
+#define FEDDA_CORE_TIMER_H_
+
+#include <chrono>
+
+namespace fedda::core {
+
+/// Simple wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fedda::core
+
+#endif  // FEDDA_CORE_TIMER_H_

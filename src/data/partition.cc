@@ -1,0 +1,82 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedda::data {
+
+using graph::EdgeId;
+using graph::EdgeTypeId;
+
+std::vector<ClientShard> PartitionClients(
+    const graph::HeteroGraph& global, const std::vector<EdgeId>& train_edges,
+    const PartitionOptions& options, core::Rng* rng) {
+  FEDDA_CHECK_GT(options.num_clients, 0);
+  FEDDA_CHECK(options.r_a > 0.0 && options.r_a <= 1.0);
+  FEDDA_CHECK(options.r_b >= 0.0 && options.r_b <= 1.0);
+  const int num_types = global.num_edge_types();
+  FEDDA_CHECK_GT(num_types, 0);
+
+  // Bucket the training edges by type once.
+  std::vector<std::vector<EdgeId>> by_type(static_cast<size_t>(num_types));
+  for (EdgeId e : train_edges) {
+    by_type[static_cast<size_t>(global.edge_type(e))].push_back(e);
+  }
+
+  std::vector<ClientShard> shards;
+  shards.reserve(static_cast<size_t>(options.num_clients));
+  for (int i = 0; i < options.num_clients; ++i) {
+    ClientShard shard;
+
+    if (options.iid) {
+      for (EdgeTypeId t = 0; t < num_types; ++t) {
+        shard.specialties.push_back(t);
+      }
+    } else {
+      int k = options.num_specialties;
+      if (k <= 0) {
+        // Random specialty count in [1, num_types - 1]; with a single edge
+        // type the client simply specializes in it.
+        k = num_types == 1
+                ? 1
+                : static_cast<int>(rng->UniformInt(
+                      int64_t{1}, static_cast<int64_t>(num_types)));
+      }
+      k = std::min(k, num_types);
+      for (size_t idx : rng->SampleWithoutReplacement(
+               static_cast<size_t>(num_types), static_cast<size_t>(k))) {
+        shard.specialties.push_back(static_cast<EdgeTypeId>(idx));
+      }
+      std::sort(shard.specialties.begin(), shard.specialties.end());
+    }
+
+    for (EdgeTypeId t = 0; t < num_types; ++t) {
+      const bool specialized =
+          std::binary_search(shard.specialties.begin(),
+                             shard.specialties.end(), t);
+      const double fraction = specialized ? options.r_a : options.r_b;
+      const auto& pool = by_type[static_cast<size_t>(t)];
+      const size_t take = static_cast<size_t>(
+          fraction * static_cast<double>(pool.size()) + 0.5);
+      for (size_t idx :
+           rng->SampleWithoutReplacement(pool.size(), take)) {
+        shard.local_edges.push_back(pool[idx]);
+        if (specialized) shard.task_edges.push_back(pool[idx]);
+      }
+    }
+    std::sort(shard.local_edges.begin(), shard.local_edges.end());
+    std::sort(shard.task_edges.begin(), shard.task_edges.end());
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+double TotalVariation(const std::vector<double>& p,
+                      const std::vector<double>& q) {
+  FEDDA_CHECK_EQ(p.size(), q.size());
+  double total = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) total += std::fabs(p[i] - q[i]);
+  return 0.5 * total;
+}
+
+}  // namespace fedda::data

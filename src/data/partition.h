@@ -1,0 +1,56 @@
+#ifndef FEDDA_DATA_PARTITION_H_
+#define FEDDA_DATA_PARTITION_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "graph/hetero_graph.h"
+
+namespace fedda::data {
+
+/// Options for synthesizing the distributed system (paper Sec. 6.1,
+/// "System synthesis").
+struct PartitionOptions {
+  int num_clients = 8;
+  /// IID mode: every client samples `r_a` of every edge type and performs
+  /// the task on all types (used by the Fig. 2 preliminary study).
+  bool iid = false;
+  /// Fraction of specialized-type edges each client samples.
+  double r_a = 0.30;
+  /// Fraction of other-type edges each client samples (paper: much smaller).
+  double r_b = 0.05;
+  /// Number of edge types each client specializes in; <= 0 draws a random
+  /// count in [1, num_edge_types - 1] per client (at least one type is
+  /// always left unspecialized so P_i distributions genuinely differ).
+  int num_specialties = 0;
+};
+
+/// One client's local shard. Edge ids index into the *global* graph's edge
+/// space (the caller restricts them to training edges).
+struct ClientShard {
+  /// Edge types this client is specialized in.
+  std::vector<graph::EdgeTypeId> specialties;
+  /// All locally available edges (specialized r_a sample + r_b of the rest).
+  std::vector<graph::EdgeId> local_edges;
+  /// Link-prediction training targets. Non-IID clients only predict the
+  /// types they specialize in (paper Sec. 6.1 note); IID clients use all
+  /// local edges.
+  std::vector<graph::EdgeId> task_edges;
+};
+
+/// Samples `options.num_clients` biased shards from `train_edges` of
+/// `global`. Overlapping shards are allowed (paper: |E_i ∩ E_j| >= 0).
+std::vector<ClientShard> PartitionClients(
+    const graph::HeteroGraph& global,
+    const std::vector<graph::EdgeId>& train_edges,
+    const PartitionOptions& options, core::Rng* rng);
+
+/// Total-variation distance between two edge-type distributions; the
+/// partition tests use it to verify Non-IID shards diverge and IID shards
+/// do not.
+double TotalVariation(const std::vector<double>& p,
+                      const std::vector<double>& q);
+
+}  // namespace fedda::data
+
+#endif  // FEDDA_DATA_PARTITION_H_

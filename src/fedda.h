@@ -1,0 +1,38 @@
+#ifndef FEDDA_FEDDA_H_
+#define FEDDA_FEDDA_H_
+
+/// Umbrella header for the FedDA library: federated learning with dynamic
+/// activation of clients and parameters over heterogeneous graphs.
+///
+/// Typical entry points:
+///   - data::AmazonSpec / data::DblpSpec + data::GenerateGraph — synthetic
+///     heterographs matching the paper's datasets.
+///   - graph::HeteroGraphBuilder / graph::LoadGraphFromTsv — bring your own.
+///   - fl::FederatedSystem::Build + fl::RunFederated — the whole pipeline.
+///   - hgn::SimpleHgn + hgn::LinkPredictionTask — centralized training.
+
+#include "analysis/efficiency.h"
+#include "core/flags.h"
+#include "core/logging.h"
+#include "core/rng.h"
+#include "core/status.h"
+#include "data/generator.h"
+#include "data/partition.h"
+#include "data/schema.h"
+#include "fl/baselines.h"
+#include "fl/experiment.h"
+#include "fl/runner.h"
+#include "graph/graph_io.h"
+#include "graph/hetero_graph.h"
+#include "graph/sampling.h"
+#include "graph/split.h"
+#include "graph/stats.h"
+#include "hgn/link_prediction.h"
+#include "hgn/simple_hgn.h"
+#include "metrics/metrics.h"
+#include "tensor/checkpoint.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "tensor/parameter_store.h"
+
+#endif  // FEDDA_FEDDA_H_

@@ -1,0 +1,290 @@
+#include "fl/activation.h"
+
+#include <algorithm>
+
+#include "core/binary_io.h"
+#include "core/check.h"
+
+namespace fedda::fl {
+
+namespace {
+
+/// Deactivation threshold over the contributing clients' magnitudes.
+double ComputeThreshold(std::vector<double>* magnitudes,
+                        const ActivationOptions& options) {
+  FEDDA_CHECK(!magnitudes->empty());
+  switch (options.threshold_rule) {
+    case ThresholdRule::kMean: {
+      double total = 0.0;
+      for (double m : *magnitudes) total += m;
+      return total / static_cast<double>(magnitudes->size());
+    }
+    case ThresholdRule::kMedian: {
+      const size_t mid = magnitudes->size() / 2;
+      std::nth_element(magnitudes->begin(),
+                       magnitudes->begin() + static_cast<long>(mid),
+                       magnitudes->end());
+      return (*magnitudes)[mid];
+    }
+    case ThresholdRule::kPercentile: {
+      const double q = options.threshold_percentile;
+      FEDDA_CHECK(q >= 0.0 && q <= 1.0);
+      const size_t rank = std::min(
+          magnitudes->size() - 1,
+          static_cast<size_t>(q * static_cast<double>(magnitudes->size())));
+      std::nth_element(magnitudes->begin(),
+                       magnitudes->begin() + static_cast<long>(rank),
+                       magnitudes->end());
+      return (*magnitudes)[rank];
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ActivationState::ActivationState(int num_clients,
+                                 const tensor::ParameterStore& reference,
+                                 const ActivationOptions& options)
+    : num_clients_(num_clients), options_(options) {
+  FEDDA_CHECK_GT(num_clients, 0);
+  FEDDA_CHECK(options.alpha >= 0.0 && options.alpha <= 1.0);
+
+  total_groups_ = reference.num_groups();
+  total_scalars_ = reference.num_scalars();
+  group_sizes_.resize(static_cast<size_t>(total_groups_));
+  group_disentangled_.resize(static_cast<size_t>(total_groups_));
+  group_first_unit_.assign(static_cast<size_t>(total_groups_), -1);
+
+  for (int gid = 0; gid < reference.num_groups(); ++gid) {
+    const size_t s = static_cast<size_t>(gid);
+    group_sizes_[s] = reference.value(gid).size();
+    group_disentangled_[s] = reference.info(gid).disentangled;
+    if (!group_disentangled_[s]) {
+      ++nondisentangled_groups_;
+      nondisentangled_scalars_ += group_sizes_[s];
+      continue;
+    }
+    group_first_unit_[s] = num_units_;
+    const int64_t units =
+        options.granularity == ActivationGranularity::kTensor
+            ? 1
+            : group_sizes_[s];
+    for (int64_t u = 0; u < units; ++u) unit_group_.push_back(gid);
+    num_units_ += units;
+  }
+
+  client_active_.assign(static_cast<size_t>(num_clients), true);
+  masks_.assign(static_cast<size_t>(num_clients),
+                std::vector<uint8_t>(static_cast<size_t>(num_units_), 1));
+}
+
+int ActivationState::num_active_clients() const {
+  return static_cast<int>(std::count(client_active_.begin(),
+                                     client_active_.end(), true));
+}
+
+bool ActivationState::client_active(int client) const {
+  FEDDA_CHECK(client >= 0 && client < num_clients_);
+  return client_active_[static_cast<size_t>(client)];
+}
+
+std::vector<int> ActivationState::ActiveClients() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_clients_; ++i) {
+    if (client_active_[static_cast<size_t>(i)]) out.push_back(i);
+  }
+  return out;
+}
+
+bool ActivationState::UnitActive(int client, int64_t unit) const {
+  FEDDA_CHECK(client >= 0 && client < num_clients_);
+  FEDDA_CHECK(unit >= 0 && unit < num_units_);
+  return masks_[static_cast<size_t>(client)][static_cast<size_t>(unit)] != 0;
+}
+
+bool ActivationState::GroupRequested(int client, int group) const {
+  FEDDA_CHECK(group >= 0 && group < total_groups_);
+  const int64_t first = group_first_unit_[static_cast<size_t>(group)];
+  if (first < 0) return true;  // outside [N_d]: always requested
+  const int64_t count = GroupUnitCount(group);
+  for (int64_t u = first; u < first + count; ++u) {
+    if (UnitActive(client, u)) return true;
+  }
+  return false;
+}
+
+int64_t ActivationState::ActiveUnits(int client) const {
+  FEDDA_CHECK(client >= 0 && client < num_clients_);
+  const auto& mask = masks_[static_cast<size_t>(client)];
+  return static_cast<int64_t>(
+      std::count(mask.begin(), mask.end(), uint8_t{1}));
+}
+
+int64_t ActivationState::TransmittedGroups(int client) const {
+  int64_t groups = nondisentangled_groups_;
+  for (int gid = 0; gid < total_groups_; ++gid) {
+    if (group_first_unit_[static_cast<size_t>(gid)] < 0) continue;
+    if (GroupRequested(client, gid)) ++groups;
+  }
+  return groups;
+}
+
+int64_t ActivationState::TransmittedScalars(int client) const {
+  int64_t scalars = nondisentangled_scalars_;
+  if (options_.granularity == ActivationGranularity::kTensor) {
+    for (int64_t u = 0; u < num_units_; ++u) {
+      if (UnitActive(client, u)) {
+        scalars += group_sizes_[static_cast<size_t>(UnitGroup(u))];
+      }
+    }
+  } else {
+    scalars += ActiveUnits(client);
+  }
+  return scalars;
+}
+
+void ActivationState::UpdateMasks(
+    const std::vector<int>& participants,
+    const std::vector<std::vector<double>>& magnitudes) {
+  FEDDA_CHECK_EQ(participants.size(), magnitudes.size());
+  for (const auto& m : magnitudes) {
+    FEDDA_CHECK_EQ(static_cast<int64_t>(m.size()), num_units_);
+  }
+  std::vector<double> contributing;
+  for (int64_t u = 0; u < num_units_; ++u) {
+    // Threshold over contributing clients only.
+    contributing.clear();
+    for (size_t p = 0; p < participants.size(); ++p) {
+      if (!UnitActive(participants[p], u)) continue;
+      contributing.push_back(magnitudes[p][static_cast<size_t>(u)]);
+    }
+    if (contributing.empty()) continue;
+    const double threshold = ComputeThreshold(&contributing, options_);
+    for (size_t p = 0; p < participants.size(); ++p) {
+      const int client = participants[p];
+      if (!UnitActive(client, u)) continue;
+      if (magnitudes[p][static_cast<size_t>(u)] < threshold) {
+        masks_[static_cast<size_t>(client)][static_cast<size_t>(u)] = 0;
+      }
+    }
+  }
+}
+
+std::vector<int> ActivationState::DeactivateLowOccupancy(
+    const std::vector<int>& participants) {
+  std::vector<int> deactivated;
+  if (num_units_ == 0) return deactivated;
+  const double threshold = options_.alpha * static_cast<double>(num_units_);
+  for (int client : participants) {
+    if (!client_active(client)) continue;
+    if (static_cast<double>(ActiveUnits(client)) < threshold) {
+      DeactivateClient(client);
+      deactivated.push_back(client);
+    }
+  }
+  return deactivated;
+}
+
+void ActivationState::DeactivateClient(int client) {
+  FEDDA_CHECK(client >= 0 && client < num_clients_);
+  client_active_[static_cast<size_t>(client)] = false;
+}
+
+void ActivationState::ActivateAll() {
+  std::fill(client_active_.begin(), client_active_.end(), true);
+  for (auto& mask : masks_) std::fill(mask.begin(), mask.end(), uint8_t{1});
+}
+
+void ActivationState::ReactivateClient(int client) {
+  FEDDA_CHECK(client >= 0 && client < num_clients_);
+  client_active_[static_cast<size_t>(client)] = true;
+  auto& mask = masks_[static_cast<size_t>(client)];
+  std::fill(mask.begin(), mask.end(), uint8_t{1});
+}
+
+int ActivationState::UnitGroup(int64_t unit) const {
+  FEDDA_CHECK(unit >= 0 && unit < num_units_);
+  return unit_group_[static_cast<size_t>(unit)];
+}
+
+int64_t ActivationState::UnitOffsetInGroup(int64_t unit) const {
+  if (options_.granularity == ActivationGranularity::kTensor) return 0;
+  const int group = UnitGroup(unit);
+  return unit - group_first_unit_[static_cast<size_t>(group)];
+}
+
+int64_t ActivationState::GroupFirstUnit(int group) const {
+  FEDDA_CHECK(group >= 0 && group < total_groups_);
+  return group_first_unit_[static_cast<size_t>(group)];
+}
+
+int64_t ActivationState::GroupUnitCount(int group) const {
+  FEDDA_CHECK(group >= 0 && group < total_groups_);
+  if (group_first_unit_[static_cast<size_t>(group)] < 0) return 0;
+  return options_.granularity == ActivationGranularity::kTensor
+             ? 1
+             : group_sizes_[static_cast<size_t>(group)];
+}
+
+namespace {
+constexpr uint32_t kActivationMagic = 0xF3DDAAC7;
+}  // namespace
+
+core::Status ActivationState::Save(const std::string& path) const {
+  core::BinaryWriter writer;
+  FEDDA_RETURN_IF_ERROR(writer.Open(path));
+  writer.WriteU32(kActivationMagic);
+  writer.WriteU32(static_cast<uint32_t>(num_clients_));
+  writer.WriteU32(options_.granularity == ActivationGranularity::kTensor ? 0
+                                                                         : 1);
+  writer.WriteI64(num_units_);
+  for (int c = 0; c < num_clients_; ++c) {
+    writer.WriteU32(client_active_[static_cast<size_t>(c)] ? 1 : 0);
+    for (uint8_t bit : masks_[static_cast<size_t>(c)]) {
+      writer.WriteU32(bit);
+    }
+  }
+  return writer.Close();
+}
+
+core::Status ActivationState::Load(const std::string& path) {
+  core::BinaryReader reader;
+  FEDDA_RETURN_IF_ERROR(reader.Open(path));
+  if (reader.ReadU32() != kActivationMagic) {
+    return core::Status::InvalidArgument("not an activation-state file: " +
+                                         path);
+  }
+  if (reader.ReadU32() != static_cast<uint32_t>(num_clients_)) {
+    return core::Status::InvalidArgument("client count mismatch");
+  }
+  const uint32_t granularity = reader.ReadU32();
+  const bool is_tensor =
+      options_.granularity == ActivationGranularity::kTensor;
+  if ((granularity == 0) != is_tensor) {
+    return core::Status::InvalidArgument("granularity mismatch");
+  }
+  if (reader.ReadI64() != num_units_) {
+    return core::Status::InvalidArgument("unit count mismatch");
+  }
+  std::vector<bool> active(static_cast<size_t>(num_clients_), true);
+  std::vector<std::vector<uint8_t>> masks(
+      static_cast<size_t>(num_clients_),
+      std::vector<uint8_t>(static_cast<size_t>(num_units_), 1));
+  for (int c = 0; c < num_clients_; ++c) {
+    active[static_cast<size_t>(c)] = reader.ReadU32() != 0;
+    for (int64_t u = 0; u < num_units_; ++u) {
+      masks[static_cast<size_t>(c)][static_cast<size_t>(u)] =
+          reader.ReadU32() != 0 ? 1 : 0;
+    }
+  }
+  if (!reader.status().ok()) return reader.status();
+  if (!reader.AtEof()) {
+    return core::Status::InvalidArgument("trailing bytes");
+  }
+  client_active_ = std::move(active);
+  masks_ = std::move(masks);
+  return core::Status::OK();
+}
+
+}  // namespace fedda::fl

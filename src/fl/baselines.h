@@ -1,0 +1,45 @@
+#ifndef FEDDA_FL_BASELINES_H_
+#define FEDDA_FL_BASELINES_H_
+
+#include <memory>
+#include <vector>
+
+#include "fl/client.h"
+#include "fl/runner.h"
+
+namespace fedda::fl {
+
+/// Result of a non-federated baseline run.
+struct BaselineResult {
+  double auc = 0.0;
+  double mrr = 0.0;
+  /// Per-round eval trace (Global baseline only; empty for Local).
+  std::vector<RoundRecord> history;
+};
+
+/// Global baseline (paper's upper bound): trains Simple-HGN centrally on the
+/// full global training edge set for `rounds` rounds of `options.local_epochs`
+/// epochs each (matching the total local-compute budget of one FL client),
+/// keeping optimizer state across rounds. Evaluates on the global test set.
+BaselineResult RunGlobalBaseline(const hgn::SimpleHgn* model,
+                                 const graph::HeteroGraph* global_graph,
+                                 const std::vector<graph::EdgeId>& train_edges,
+                                 const std::vector<graph::EdgeId>& test_edges,
+                                 int rounds, const hgn::TrainOptions& options,
+                                 const hgn::EvalOptions& eval_options,
+                                 tensor::ParameterStore* store, core::Rng* rng,
+                                 bool eval_every_round = false);
+
+/// Local baseline (paper's lower bound): every client trains solely on its
+/// own shard for the same round budget with no communication; each local
+/// model is evaluated on the global test set and the scores are averaged.
+BaselineResult RunLocalBaseline(
+    const hgn::SimpleHgn* model, const graph::HeteroGraph* global_graph,
+    const std::vector<graph::EdgeId>& test_edges,
+    std::vector<std::unique_ptr<Client>>* clients, int rounds,
+    const hgn::TrainOptions& options, const hgn::EvalOptions& eval_options,
+    core::Rng* rng);
+
+}  // namespace fedda::fl
+
+#endif  // FEDDA_FL_BASELINES_H_

@@ -1,0 +1,36 @@
+#include "fl/client.h"
+
+namespace fedda::fl {
+
+Client::Client(int id, const hgn::SimpleHgn* model,
+               graph::HeteroGraph local_graph,
+               std::vector<graph::EdgeId> local_task_edges,
+               const tensor::ParameterStore& reference_store)
+    : id_(id),
+      local_graph_(
+          std::make_unique<graph::HeteroGraph>(std::move(local_graph))),
+      store_(reference_store) {
+  task_ = std::make_unique<hgn::LinkPredictionTask>(
+      model, local_graph_.get(), std::move(local_task_edges));
+  store_.ZeroGrads();
+}
+
+Client::Client(int id, std::unique_ptr<hgn::TrainableTask> task,
+               const tensor::ParameterStore& reference_store)
+    : id_(id), task_(std::move(task)), store_(reference_store) {
+  FEDDA_CHECK(task_ != nullptr);
+  store_.ZeroGrads();
+}
+
+double Client::Update(const tensor::ParameterStore& global,
+                      const hgn::TrainOptions& options, core::Rng* rng) {
+  store_.CopyValuesFrom(global);
+  return TrainLocalOnly(options, rng);
+}
+
+double Client::TrainLocalOnly(const hgn::TrainOptions& options,
+                              core::Rng* rng) {
+  return task_->TrainRound(&store_, options, rng);
+}
+
+}  // namespace fedda::fl

@@ -1,0 +1,50 @@
+#include "fl/network.h"
+
+#include "core/check.h"
+
+namespace fedda::fl {
+
+std::vector<RoundTiming> SimulateTiming(const FlRunResult& result,
+                                        const NetworkModel& model,
+                                        int64_t model_scalars,
+                                        int local_epochs) {
+  FEDDA_CHECK_GT(model_scalars, 0);
+  FEDDA_CHECK_GT(local_epochs, 0);
+  FEDDA_CHECK_GT(model.uplink_bytes_per_sec, 0.0);
+  FEDDA_CHECK_GT(model.downlink_bytes_per_sec, 0.0);
+
+  std::vector<RoundTiming> timings;
+  timings.reserve(result.history.size());
+  double cumulative = 0.0;
+  const double model_bytes =
+      static_cast<double>(model_scalars) * model.bytes_per_scalar;
+  for (const RoundRecord& record : result.history) {
+    double round_sec = model.round_latency_sec;
+    if (record.participants > 0) {
+      const double mean_uplink_bytes =
+          static_cast<double>(record.uplink_scalars) /
+          static_cast<double>(record.participants) * model.bytes_per_scalar;
+      round_sec += model_bytes / model.downlink_bytes_per_sec;
+      round_sec += static_cast<double>(local_epochs) *
+                   model.compute_sec_per_epoch;
+      round_sec += mean_uplink_bytes / model.uplink_bytes_per_sec;
+    }
+    cumulative += round_sec;
+    timings.push_back(RoundTiming{round_sec, cumulative});
+  }
+  return timings;
+}
+
+double TimeToAccuracy(const FlRunResult& result,
+                      const std::vector<RoundTiming>& timing,
+                      double target_auc) {
+  FEDDA_CHECK_EQ(result.history.size(), timing.size());
+  for (size_t t = 0; t < result.history.size(); ++t) {
+    if (result.history[t].auc >= target_auc) {
+      return timing[t].cumulative_sec;
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace fedda::fl

@@ -1,0 +1,52 @@
+#ifndef FEDDA_FL_NETWORK_H_
+#define FEDDA_FL_NETWORK_H_
+
+#include <vector>
+
+#include "fl/runner.h"
+
+namespace fedda::fl {
+
+/// Simulated communication/compute timing model for synchronous federated
+/// rounds. The simulator itself is instantaneous; this model converts a
+/// finished run's transmission accounting into estimated wall-clock time so
+/// "fewer transmitted parameters" can be read as "faster rounds"
+/// (time-to-accuracy), the way a deployment would experience FedDA.
+struct NetworkModel {
+  /// float32 payloads.
+  double bytes_per_scalar = 4.0;
+  /// Client uplink bandwidth (the FL bottleneck in practice).
+  double uplink_bytes_per_sec = 1.0e6;
+  /// Client downlink bandwidth (broadcast of the full model).
+  double downlink_bytes_per_sec = 4.0e6;
+  /// Fixed per-round overhead: handshakes, scheduling, aggregation.
+  double round_latency_sec = 0.1;
+  /// Local compute time per client per local epoch.
+  double compute_sec_per_epoch = 0.5;
+};
+
+/// Wall-clock estimate for one round and the running total.
+struct RoundTiming {
+  double round_sec = 0.0;
+  double cumulative_sec = 0.0;
+};
+
+/// Estimates per-round durations for a finished run. Synchronous rounds:
+/// duration = latency + downlink(full model) + compute(E epochs) +
+/// uplink(mean transmitted scalars per participant). Rounds with no
+/// participants cost only the latency. `model_scalars` is the full model
+/// size N in scalars; `local_epochs` the E used in the run.
+std::vector<RoundTiming> SimulateTiming(const FlRunResult& result,
+                                        const NetworkModel& model,
+                                        int64_t model_scalars,
+                                        int local_epochs);
+
+/// First cumulative time (seconds) at which the run's evaluated AUC reaches
+/// `target_auc`, or -1 if never. Requires per-round evaluation in `result`.
+double TimeToAccuracy(const FlRunResult& result,
+                      const std::vector<RoundTiming>& timing,
+                      double target_auc);
+
+}  // namespace fedda::fl
+
+#endif  // FEDDA_FL_NETWORK_H_

@@ -1,0 +1,373 @@
+#include "fl/runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/thread_pool.h"
+
+namespace fedda::fl {
+
+using tensor::ParameterStore;
+using tensor::Tensor;
+
+const char* FlAlgorithmName(FlAlgorithm algorithm) {
+  switch (algorithm) {
+    case FlAlgorithm::kFedAvg:
+      return "FedAvg";
+    case FlAlgorithm::kFedDaRestart:
+      return "FedDA-Restart";
+    case FlAlgorithm::kFedDaExplore:
+      return "FedDA-Explore";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+void ValidateOptions(const FlOptions& options, size_t num_clients) {
+  FEDDA_CHECK_GT(num_clients, 0u);
+  FEDDA_CHECK_GT(options.rounds, 0);
+  FEDDA_CHECK(options.client_fraction > 0.0 &&
+              options.client_fraction <= 1.0);
+  FEDDA_CHECK(options.param_fraction > 0.0 &&
+              options.param_fraction <= 1.0);
+}
+
+}  // namespace
+
+FederatedRunner::FederatedRunner(const hgn::SimpleHgn* model,
+                                 const graph::HeteroGraph* global_graph,
+                                 const std::vector<graph::EdgeId>* test_edges,
+                                 std::vector<std::unique_ptr<Client>> clients,
+                                 FlOptions options)
+    : model_(model), global_graph_(global_graph), test_edges_(test_edges),
+      clients_(std::move(clients)), options_(options),
+      global_mp_(model->BuildStructure(*global_graph)) {
+  ValidateOptions(options_, clients_.size());
+}
+
+FederatedRunner::FederatedRunner(std::vector<std::unique_ptr<Client>> clients,
+                                 Evaluator evaluator, FlOptions options)
+    : clients_(std::move(clients)), options_(options),
+      evaluator_(std::move(evaluator)) {
+  FEDDA_CHECK(evaluator_ != nullptr);
+  ValidateOptions(options_, clients_.size());
+}
+
+std::pair<double, double> FederatedRunner::EvaluateGlobal(
+    tensor::ParameterStore* store, core::Rng* rng) const {
+  if (evaluator_) return evaluator_(store, rng);
+  const hgn::EvalResult eval = hgn::EvaluateLinkPrediction(
+      *model_, *global_graph_, global_mp_, *test_edges_, store,
+      options_.eval, rng);
+  return {eval.auc, eval.mrr};
+}
+
+std::vector<int> FederatedRunner::SelectParticipants(ActivationState* state,
+                                                     core::Rng* rng) {
+  if (options_.algorithm == FlAlgorithm::kFedAvg) {
+    const int m = num_clients();
+    const int take = std::max(
+        1, static_cast<int>(std::llround(options_.client_fraction * m)));
+    if (take >= m) {
+      std::vector<int> all(static_cast<size_t>(m));
+      for (int i = 0; i < m; ++i) all[static_cast<size_t>(i)] = i;
+      return all;
+    }
+    std::vector<int> out;
+    for (size_t idx : rng->SampleWithoutReplacement(
+             static_cast<size_t>(m), static_cast<size_t>(take))) {
+      out.push_back(static_cast<int>(idx));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  return state->ActiveClients();
+}
+
+std::vector<std::vector<double>> FederatedRunner::AggregateAndMeasure(
+    const std::vector<int>& participants, const ParameterStore& broadcast,
+    const std::vector<int>& selected_groups, const ActivationState& state,
+    ParameterStore* global_store) const {
+  const bool is_fedda = options_.algorithm != FlAlgorithm::kFedAvg;
+  const bool scalar_gran = options_.activation.granularity ==
+                           ActivationGranularity::kScalar;
+
+  std::vector<std::vector<double>> magnitudes;
+  if (is_fedda) {
+    magnitudes.assign(participants.size(),
+                      std::vector<double>(
+                          static_cast<size_t>(state.num_units()), 0.0));
+  }
+
+  // Aggregation weights (renormalized per unit over its contributors).
+  // Uniform by default (the paper's privacy-preserving p_i = 1/M); task-size
+  // proportional when weighted_aggregation is on.
+  std::vector<double> weight(participants.size(), 1.0);
+  if (options_.weighted_aggregation) {
+    for (size_t p = 0; p < participants.size(); ++p) {
+      weight[p] = std::max<double>(
+          1.0, static_cast<double>(
+                   clients_[static_cast<size_t>(participants[p])]
+                       ->num_task_edges()));
+    }
+  }
+
+  std::vector<bool> group_selected(
+      static_cast<size_t>(global_store->num_groups()), false);
+  for (int gid : selected_groups) group_selected[static_cast<size_t>(gid)] = true;
+
+  for (int gid = 0; gid < global_store->num_groups(); ++gid) {
+    const int64_t size = global_store->value(gid).size();
+    const int64_t first_unit = state.GroupFirstUnit(gid);
+    const bool maskable = first_unit >= 0;
+
+    if (!is_fedda) {
+      // FedAvg: unselected groups keep their previous global value (Fig. 2's
+      // random parameter activation with rate D).
+      if (!group_selected[static_cast<size_t>(gid)]) continue;
+      Tensor& target = global_store->value(gid);
+      target.Zero();
+      double total_weight = 0.0;
+      for (size_t p = 0; p < participants.size(); ++p) {
+        target.Axpy(static_cast<float>(weight[p]),
+                    clients_[static_cast<size_t>(participants[p])]
+                        ->params()
+                        .value(gid));
+        total_weight += weight[p];
+      }
+      target.Scale(1.0f / static_cast<float>(total_weight));
+      continue;
+    }
+
+    // FedDA masked aggregation (Eq. 6) + pseudo-gradient magnitudes.
+    if (!maskable || !scalar_gran) {
+      // Whole-group aggregation: contributors are participants whose mask
+      // requests this group (everyone, for groups outside [N_d]).
+      Tensor sum(global_store->value(gid).rows(),
+                 global_store->value(gid).cols());
+      double total_weight = 0.0;
+      for (size_t p = 0; p < participants.size(); ++p) {
+        const int c = participants[p];
+        if (maskable && !state.UnitActive(c, first_unit)) continue;
+        const Tensor& cv = clients_[static_cast<size_t>(c)]->params().value(gid);
+        sum.Axpy(static_cast<float>(weight[p]), cv);
+        total_weight += weight[p];
+        if (maskable) {
+          // Tensor-granularity magnitude: mean |delta| over the group.
+          const Tensor delta = cv.Sub(broadcast.value(gid));
+          magnitudes[p][static_cast<size_t>(first_unit)] = delta.AbsMean();
+        }
+      }
+      if (total_weight > 0.0) {
+        sum.Scale(1.0f / static_cast<float>(total_weight));
+        global_store->value(gid) = std::move(sum);
+      }
+      continue;
+    }
+
+    // Scalar granularity on a disentangled group: per-scalar contributors.
+    Tensor& target = global_store->value(gid);
+    const Tensor& old = broadcast.value(gid);
+    for (int64_t s = 0; s < size; ++s) {
+      double sum = 0.0;
+      double total_weight = 0.0;
+      for (size_t p = 0; p < participants.size(); ++p) {
+        const int c = participants[p];
+        if (!state.UnitActive(c, first_unit + s)) continue;
+        const float cv =
+            clients_[static_cast<size_t>(c)]->params().value(gid).data()[s];
+        sum += weight[p] * cv;
+        total_weight += weight[p];
+        magnitudes[p][static_cast<size_t>(first_unit + s)] =
+            std::fabs(cv - old.data()[s]);
+      }
+      target.data()[s] = total_weight > 0.0
+                             ? static_cast<float>(sum / total_weight)
+                             : old.data()[s];
+    }
+  }
+  return magnitudes;
+}
+
+FlRunResult FederatedRunner::Run(ParameterStore* global_store,
+                                 core::Rng* rng) {
+  const int m = num_clients();
+  ActivationState state(m, *global_store, options_.activation);
+  const bool is_fedda = options_.algorithm != FlAlgorithm::kFedAvg;
+  core::Rng eval_rng = rng->Split();
+
+  FlRunResult result;
+  result.history.reserve(static_cast<size_t>(options_.rounds));
+
+  for (int round = 0; round < options_.rounds; ++round) {
+    std::vector<int> participants = SelectParticipants(&state, rng);
+    FEDDA_CHECK(!participants.empty())
+        << "empty participant set in round" << round;
+    if (options_.client_failure_prob > 0.0) {
+      std::vector<int> responding;
+      for (int c : participants) {
+        if (!rng->Bernoulli(options_.client_failure_prob)) {
+          responding.push_back(c);
+        }
+      }
+      participants = std::move(responding);
+    }
+    if (participants.empty()) {
+      // Everyone failed: no training, no aggregation, no uplink.
+      RoundRecord record;
+      record.round = round;
+      record.active_after_round = state.num_active_clients();
+      if (options_.eval_every_round || round == options_.rounds - 1) {
+        std::tie(record.auc, record.mrr) =
+            EvaluateGlobal(global_store, &eval_rng);
+      }
+      result.history.push_back(record);
+      continue;
+    }
+
+    // FedAvg's random parameter activation (rate D): one server-side group
+    // subset per round, shared by all participants. FedDA transmits per its
+    // masks, so every group is nominally "selected".
+    std::vector<int> selected_groups;
+    int64_t selected_scalars = 0;
+    {
+      const int total = global_store->num_groups();
+      if (!is_fedda && options_.param_fraction < 1.0) {
+        const int take = std::max(
+            1, static_cast<int>(
+                   std::llround(options_.param_fraction * total)));
+        for (size_t idx : rng->SampleWithoutReplacement(
+                 static_cast<size_t>(total), static_cast<size_t>(take))) {
+          selected_groups.push_back(static_cast<int>(idx));
+        }
+        std::sort(selected_groups.begin(), selected_groups.end());
+      } else {
+        selected_groups.resize(static_cast<size_t>(total));
+        for (int gid = 0; gid < total; ++gid) {
+          selected_groups[static_cast<size_t>(gid)] = gid;
+        }
+      }
+      for (int gid : selected_groups) {
+        selected_scalars += global_store->value(gid).size();
+      }
+    }
+
+    // Broadcast + local updates. RNG streams are split up front so the
+    // result is identical whether updates run sequentially or on a pool.
+    const ParameterStore broadcast = *global_store;
+    std::vector<core::Rng> client_rngs;
+    client_rngs.reserve(participants.size());
+    for (size_t p = 0; p < participants.size(); ++p) {
+      client_rngs.push_back(rng->Split());
+    }
+    std::vector<double> losses(participants.size(), 0.0);
+    auto update_one = [&](int64_t p) {
+      const int c = participants[static_cast<size_t>(p)];
+      core::Rng& client_rng = client_rngs[static_cast<size_t>(p)];
+      losses[static_cast<size_t>(p)] = clients_[static_cast<size_t>(c)]
+                                           ->Update(broadcast, options_.local,
+                                                    &client_rng);
+      if (options_.dp_noise_std > 0.0) {
+        // Perturb the client's outgoing weights (the server only ever sees
+        // the noisy values, including in the mask-update magnitudes).
+        ParameterStore* params = clients_[static_cast<size_t>(c)]
+                                     ->mutable_params();
+        for (int gid = 0; gid < params->num_groups(); ++gid) {
+          Tensor& value = params->value(gid);
+          for (int64_t k = 0; k < value.size(); ++k) {
+            value.data()[k] += static_cast<float>(
+                client_rng.Gaussian(0.0, options_.dp_noise_std));
+          }
+        }
+      }
+    };
+    if (options_.worker_threads > 0) {
+      core::ThreadPool pool(options_.worker_threads);
+      pool.ParallelFor(static_cast<int64_t>(participants.size()), update_one);
+    } else {
+      for (size_t p = 0; p < participants.size(); ++p) {
+        update_one(static_cast<int64_t>(p));
+      }
+    }
+    double loss_sum = 0.0;
+    for (double loss : losses) loss_sum += loss;
+
+    RoundRecord record;
+    record.round = round;
+    record.participants = static_cast<int>(participants.size());
+    record.mean_local_loss =
+        loss_sum / static_cast<double>(participants.size());
+    // Uplink accounting uses the masks in force *this* round (before the
+    // post-aggregation update below).
+    for (int c : participants) {
+      if (is_fedda) {
+        record.uplink_groups += state.TransmittedGroups(c);
+        record.uplink_scalars += state.TransmittedScalars(c);
+      } else {
+        record.uplink_groups += static_cast<int64_t>(selected_groups.size());
+        record.uplink_scalars += selected_scalars;
+      }
+    }
+
+    const auto magnitudes = AggregateAndMeasure(
+        participants, broadcast, selected_groups, state, global_store);
+
+    if (is_fedda) {
+      state.UpdateMasks(participants, magnitudes);
+      const std::vector<int> just_deactivated =
+          state.DeactivateLowOccupancy(participants);
+
+      if (options_.algorithm == FlAlgorithm::kFedDaRestart) {
+        if (static_cast<double>(state.num_active_clients()) <
+            options_.beta_r * m) {
+          state.ActivateAll();
+        }
+      } else {
+        const int target = std::max(
+            1, static_cast<int>(std::llround(options_.beta_e * m)));
+        if (state.num_active_clients() < target) {
+          // Candidate pool: deactivated clients, excluding the ones dropped
+          // this very round (paper Sec. 5.2, historical consistency).
+          std::vector<int> candidates;
+          for (int c = 0; c < m; ++c) {
+            if (state.client_active(c)) continue;
+            if (std::find(just_deactivated.begin(), just_deactivated.end(),
+                          c) != just_deactivated.end()) {
+              continue;
+            }
+            candidates.push_back(c);
+          }
+          rng->Shuffle(&candidates);
+          for (int c : candidates) {
+            if (state.num_active_clients() >= target) break;
+            state.ReactivateClient(c);
+          }
+        }
+        if (state.num_active_clients() == 0) {
+          // Degenerate guard (e.g. every client deactivated in round 1 and
+          // no rejoin candidates): restart rather than dead-lock.
+          state.ActivateAll();
+        }
+      }
+    }
+
+    record.active_after_round = state.num_active_clients();
+
+    if (options_.eval_every_round || round == options_.rounds - 1) {
+      std::tie(record.auc, record.mrr) =
+          EvaluateGlobal(global_store, &eval_rng);
+    }
+
+    result.total_uplink_groups += record.uplink_groups;
+    result.total_uplink_scalars += record.uplink_scalars;
+    result.history.push_back(record);
+  }
+
+  result.final_auc = result.history.back().auc;
+  result.final_mrr = result.history.back().mrr;
+  return result;
+}
+
+}  // namespace fedda::fl

@@ -1,0 +1,155 @@
+#ifndef FEDDA_FL_RUNNER_H_
+#define FEDDA_FL_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fl/activation.h"
+#include "fl/client.h"
+#include "graph/hetero_graph.h"
+#include "hgn/link_prediction.h"
+
+namespace fedda::fl {
+
+/// Federated algorithms reproduced from the paper.
+enum class FlAlgorithm {
+  /// Vanilla FedAvg, optionally with the preliminary study's random client
+  /// activation rate C and parameter activation rate D (Fig. 2).
+  kFedAvg,
+  /// FedDA with the Restart reactivation strategy (beta_r).
+  kFedDaRestart,
+  /// FedDA with the Explore reactivation strategy (beta_e).
+  kFedDaExplore,
+};
+
+const char* FlAlgorithmName(FlAlgorithm algorithm);
+
+struct FlOptions {
+  FlAlgorithm algorithm = FlAlgorithm::kFedAvg;
+  /// Communication rounds T (paper: 40).
+  int rounds = 40;
+  /// FedAvg-only: fraction C of clients randomly activated per round.
+  double client_fraction = 1.0;
+  /// FedAvg-only: fraction D of parameter groups randomly aggregated per
+  /// round (unselected groups keep their previous global value and are not
+  /// transmitted).
+  double param_fraction = 1.0;
+  /// FedDA parameter-activation options (granularity, alpha).
+  ActivationOptions activation;
+  /// Restart threshold beta_r (paper best: 0.4).
+  double beta_r = 0.4;
+  /// Explore floor beta_e (paper best: 0.667).
+  double beta_e = 0.667;
+  hgn::TrainOptions local;
+  hgn::EvalOptions eval;
+  /// Evaluate the global model on the test set every round (required for
+  /// convergence curves; disable for the fastest headline runs).
+  bool eval_every_round = true;
+  /// Robustness extension: each selected participant independently fails to
+  /// respond with this probability (straggler/crash injection). A failed
+  /// client trains nothing, transmits nothing, and keeps its activation
+  /// state; a round where everyone fails performs no aggregation.
+  double client_failure_prob = 0.0;
+  /// Privacy extension (the paper's Sec. 7 future work): standard deviation
+  /// of Gaussian noise added to every scalar of each client's returned
+  /// weights (local-DP-style perturbation). 0 disables (and draws no
+  /// randomness, keeping seeded runs bit-identical to before the feature).
+  double dp_noise_std = 0.0;
+  /// Worker threads for client updates within a round (0 = sequential).
+  /// Results are bit-identical to sequential execution: every client's RNG
+  /// stream is split from the round RNG before any update starts.
+  int worker_threads = 0;
+  /// Weighted aggregation p_i proportional to each client's task-edge count
+  /// (the classic FedAvg n_k/n weighting). The paper deliberately uses
+  /// uniform p_i = 1/M because the server must not learn local data sizes
+  /// (Sec. 5.1.2); this option exists to quantify what that privacy choice
+  /// costs.
+  bool weighted_aggregation = false;
+};
+
+/// Per-round telemetry.
+struct RoundRecord {
+  int round = 0;
+  double auc = 0.0;
+  double mrr = 0.0;
+  double mean_local_loss = 0.0;
+  int participants = 0;
+  /// Uplink transmitted this round.
+  int64_t uplink_groups = 0;
+  int64_t uplink_scalars = 0;
+  /// Active-set size after this round's (de/re)activation.
+  int active_after_round = 0;
+};
+
+struct FlRunResult {
+  std::vector<RoundRecord> history;
+  double final_auc = 0.0;
+  double final_mrr = 0.0;
+  int64_t total_uplink_groups = 0;
+  int64_t total_uplink_scalars = 0;
+};
+
+/// Orchestrates one federated training run (Algorithm 1): owns the clients,
+/// drives rounds, performs masked aggregation (Eq. 6), updates activation
+/// state, and evaluates the global model on the global test set.
+class FederatedRunner {
+ public:
+  /// Task-agnostic evaluation hook: scores the global model and returns
+  /// (primary, secondary) metrics recorded as RoundRecord::auc / ::mrr.
+  using Evaluator =
+      std::function<std::pair<double, double>(tensor::ParameterStore*,
+                                              core::Rng*)>;
+
+  /// Link-prediction runner (the paper's setting). All pointers must
+  /// outlive the runner; `global_graph`/`test_edges` define the evaluation
+  /// task.
+  FederatedRunner(const hgn::SimpleHgn* model,
+                  const graph::HeteroGraph* global_graph,
+                  const std::vector<graph::EdgeId>* test_edges,
+                  std::vector<std::unique_ptr<Client>> clients,
+                  FlOptions options);
+
+  /// Task-agnostic runner: clients may train any TrainableTask and
+  /// `evaluator` scores the aggregated model each round.
+  FederatedRunner(std::vector<std::unique_ptr<Client>> clients,
+                  Evaluator evaluator, FlOptions options);
+
+  /// Runs `options.rounds` rounds starting from the weights in
+  /// `global_store` (which receives the final weights).
+  FlRunResult Run(tensor::ParameterStore* global_store, core::Rng* rng);
+
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  const FlOptions& options() const { return options_; }
+
+ private:
+  /// Participants for round `t` per algorithm.
+  std::vector<int> SelectParticipants(ActivationState* state, core::Rng* rng);
+
+  /// Masked mean aggregation into `global_store`; returns per-participant
+  /// per-unit |delta| magnitudes for the subsequent mask update.
+  std::vector<std::vector<double>> AggregateAndMeasure(
+      const std::vector<int>& participants,
+      const tensor::ParameterStore& broadcast,
+      const std::vector<int>& selected_groups, const ActivationState& state,
+      tensor::ParameterStore* global_store) const;
+
+  /// Scores `global_store`; uses evaluator_ when set, else the built-in
+  /// link-prediction evaluation.
+  std::pair<double, double> EvaluateGlobal(tensor::ParameterStore* store,
+                                           core::Rng* rng) const;
+
+  const hgn::SimpleHgn* model_ = nullptr;
+  const graph::HeteroGraph* global_graph_ = nullptr;
+  const std::vector<graph::EdgeId>* test_edges_ = nullptr;
+  std::vector<std::unique_ptr<Client>> clients_;
+  FlOptions options_;
+  hgn::MpStructure global_mp_;
+  Evaluator evaluator_;
+};
+
+}  // namespace fedda::fl
+
+#endif  // FEDDA_FL_RUNNER_H_

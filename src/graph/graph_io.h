@@ -1,0 +1,35 @@
+#ifndef FEDDA_GRAPH_GRAPH_IO_H_
+#define FEDDA_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "graph/hetero_graph.h"
+
+namespace fedda::graph {
+
+/// Persists a heterograph (schema, nodes, features, edges) to a compact
+/// binary file, so an expensive synthesis or external import can be reused
+/// across runs.
+core::Status SaveGraph(const HeteroGraph& graph, const std::string& path);
+
+/// Loads a graph written by SaveGraph.
+core::Status LoadGraph(const std::string& path, HeteroGraph* graph);
+
+/// Imports a heterograph from two tab-separated text files — the adoption
+/// path for real datasets.
+///
+/// `nodes_path` lines:  node_type_name<TAB>feature_0<TAB>...<TAB>feature_k
+///   Nodes are numbered 0..N-1 in file order; every line of one type must
+///   carry the same number of features (the type's feature dim, possibly 0).
+/// `edges_path` lines:  edge_type_name<TAB>src_id<TAB>dst_id
+///   Edge types are declared on first use; their endpoint node types are
+///   fixed by the first edge and validated on every subsequent one.
+/// Lines starting with '#' and blank lines are ignored in both files.
+core::Status LoadGraphFromTsv(const std::string& nodes_path,
+                              const std::string& edges_path,
+                              HeteroGraph* graph);
+
+}  // namespace fedda::graph
+
+#endif  // FEDDA_GRAPH_GRAPH_IO_H_

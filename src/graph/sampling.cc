@@ -1,0 +1,54 @@
+#include "graph/sampling.h"
+
+namespace fedda::graph {
+
+NegativeSampler::NegativeSampler(const HeteroGraph* graph, int max_tries)
+    : graph_(graph), max_tries_(max_tries) {
+  FEDDA_CHECK(graph != nullptr);
+  FEDDA_CHECK_GT(max_tries, 0);
+}
+
+NodeId NegativeSampler::CorruptDst(NodeId u, NodeId v, EdgeTypeId t,
+                                   core::Rng* rng) const {
+  const NodeTypeId dst_type = graph_->edge_type_info(t).dst_type;
+  const std::vector<NodeId>& pool = graph_->nodes_of_type(dst_type);
+  FEDDA_CHECK_GT(pool.size(), 1u)
+      << "cannot sample negatives: node type has <= 1 node";
+  NodeId candidate = v;
+  for (int attempt = 0; attempt < max_tries_; ++attempt) {
+    candidate = pool[rng->UniformInt(static_cast<uint64_t>(pool.size()))];
+    if (candidate != v && !graph_->HasEdge(u, candidate, t)) return candidate;
+  }
+  return candidate;
+}
+
+std::vector<NodeId> NegativeSampler::SampleNegatives(NodeId u, NodeId v,
+                                                     EdgeTypeId t, int count,
+                                                     core::Rng* rng) const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(CorruptDst(u, v, t, rng));
+  return out;
+}
+
+std::vector<std::vector<EdgeId>> MakeBatches(std::vector<EdgeId> edge_ids,
+                                             int64_t batch_size,
+                                             core::Rng* rng) {
+  rng->Shuffle(&edge_ids);
+  std::vector<std::vector<EdgeId>> batches;
+  if (edge_ids.empty()) return batches;
+  if (batch_size <= 0) {
+    batches.push_back(std::move(edge_ids));
+    return batches;
+  }
+  for (size_t start = 0; start < edge_ids.size();
+       start += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(edge_ids.size(), start + static_cast<size_t>(batch_size));
+    batches.emplace_back(edge_ids.begin() + static_cast<long>(start),
+                         edge_ids.begin() + static_cast<long>(end));
+  }
+  return batches;
+}
+
+}  // namespace fedda::graph

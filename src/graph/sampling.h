@@ -1,0 +1,44 @@
+#ifndef FEDDA_GRAPH_SAMPLING_H_
+#define FEDDA_GRAPH_SAMPLING_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "graph/hetero_graph.h"
+
+namespace fedda::graph {
+
+/// Draws corrupted (negative) node pairs for link prediction training and
+/// evaluation. For a positive edge (u, v) of type t, a negative replaces v
+/// with a uniformly sampled node of the same type that is not linked to u by
+/// an edge of type t (best effort: after `max_tries` collisions the last
+/// candidate is returned, which matches common practice on dense graphs).
+class NegativeSampler {
+ public:
+  /// `graph` must outlive the sampler. Membership checks run against this
+  /// graph, so pass the global graph when sampling evaluation negatives and
+  /// the local graph for client-side training negatives.
+  explicit NegativeSampler(const HeteroGraph* graph, int max_tries = 16);
+
+  /// One corrupted destination for (u, v, t).
+  NodeId CorruptDst(NodeId u, NodeId v, EdgeTypeId t, core::Rng* rng) const;
+
+  /// `count` corrupted destinations for (u, v, t); may contain duplicates on
+  /// tiny graphs (sampling with replacement).
+  std::vector<NodeId> SampleNegatives(NodeId u, NodeId v, EdgeTypeId t,
+                                      int count, core::Rng* rng) const;
+
+ private:
+  const HeteroGraph* graph_;
+  int max_tries_;
+};
+
+/// Shuffles `edge_ids` and chops them into batches of `batch_size` (the last
+/// batch may be smaller). batch_size <= 0 yields a single full batch.
+std::vector<std::vector<EdgeId>> MakeBatches(std::vector<EdgeId> edge_ids,
+                                             int64_t batch_size,
+                                             core::Rng* rng);
+
+}  // namespace fedda::graph
+
+#endif  // FEDDA_GRAPH_SAMPLING_H_

@@ -1,0 +1,45 @@
+#include "graph/split.h"
+
+#include <algorithm>
+
+namespace fedda::graph {
+
+namespace {
+
+void SplitIds(std::vector<EdgeId> ids, double test_fraction, core::Rng* rng,
+              EdgeSplit* out) {
+  rng->Shuffle(&ids);
+  const size_t num_test = static_cast<size_t>(
+      test_fraction * static_cast<double>(ids.size()) + 0.5);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i < num_test) {
+      out->test.push_back(ids[i]);
+    } else {
+      out->train.push_back(ids[i]);
+    }
+  }
+}
+
+}  // namespace
+
+EdgeSplit SplitEdges(const HeteroGraph& graph, double test_fraction,
+                     core::Rng* rng, bool stratified) {
+  FEDDA_CHECK(test_fraction >= 0.0 && test_fraction < 1.0);
+  EdgeSplit split;
+  if (stratified) {
+    for (EdgeTypeId t = 0; t < graph.num_edge_types(); ++t) {
+      SplitIds(graph.EdgesOfType(t), test_fraction, rng, &split);
+    }
+  } else {
+    std::vector<EdgeId> all(static_cast<size_t>(graph.num_edges()));
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      all[static_cast<size_t>(e)] = e;
+    }
+    SplitIds(std::move(all), test_fraction, rng, &split);
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+}  // namespace fedda::graph

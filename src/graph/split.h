@@ -1,0 +1,25 @@
+#ifndef FEDDA_GRAPH_SPLIT_H_
+#define FEDDA_GRAPH_SPLIT_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "graph/hetero_graph.h"
+
+namespace fedda::graph {
+
+/// Train/test partition of a graph's edge ids.
+struct EdgeSplit {
+  std::vector<EdgeId> train;
+  std::vector<EdgeId> test;
+};
+
+/// Randomly splits edges into train/test. With `stratified` (default) the
+/// split is performed per edge type so every type appears in the test set
+/// with the same fraction — the paper's global test covers all link types.
+EdgeSplit SplitEdges(const HeteroGraph& graph, double test_fraction,
+                     core::Rng* rng, bool stratified = true);
+
+}  // namespace fedda::graph
+
+#endif  // FEDDA_GRAPH_SPLIT_H_

@@ -1,0 +1,47 @@
+#include "graph/stats.h"
+
+#include "core/string_util.h"
+
+namespace fedda::graph {
+
+GraphStats ComputeStats(const HeteroGraph& graph) {
+  GraphStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_node_types = graph.num_node_types();
+  stats.num_edges = graph.num_edges();
+  stats.num_edge_types = graph.num_edge_types();
+  stats.density = graph.Density();
+  for (NodeTypeId t = 0; t < graph.num_node_types(); ++t) {
+    stats.nodes_per_type.push_back(graph.num_nodes_of_type(t));
+  }
+  stats.edges_per_type = graph.EdgeTypeCounts();
+  return stats;
+}
+
+std::string StatsToString(const HeteroGraph& graph, const GraphStats& stats) {
+  std::string out = core::StrFormat(
+      "nodes=%s (%d types), edges=%s (%d types), density=%.4f%%\n",
+      core::FormatWithCommas(stats.num_nodes).c_str(), stats.num_node_types,
+      core::FormatWithCommas(stats.num_edges).c_str(), stats.num_edge_types,
+      stats.density * 100.0);
+  for (NodeTypeId t = 0; t < graph.num_node_types(); ++t) {
+    out += core::StrFormat(
+        "  node type %-12s : %s nodes (feature dim %lld)\n",
+        graph.node_type_info(t).name.c_str(),
+        core::FormatWithCommas(stats.nodes_per_type[static_cast<size_t>(t)])
+            .c_str(),
+        static_cast<long long>(graph.node_type_info(t).feature_dim));
+  }
+  for (EdgeTypeId t = 0; t < graph.num_edge_types(); ++t) {
+    const EdgeTypeInfo& info = graph.edge_type_info(t);
+    out += core::StrFormat(
+        "  edge type %-12s : %s edges (%s -- %s)\n", info.name.c_str(),
+        core::FormatWithCommas(stats.edges_per_type[static_cast<size_t>(t)])
+            .c_str(),
+        graph.node_type_info(info.src_type).name.c_str(),
+        graph.node_type_info(info.dst_type).name.c_str());
+  }
+  return out;
+}
+
+}  // namespace fedda::graph

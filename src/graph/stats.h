@@ -1,0 +1,29 @@
+#ifndef FEDDA_GRAPH_STATS_H_
+#define FEDDA_GRAPH_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+
+namespace fedda::graph {
+
+/// Summary statistics matching the paper's Table 1 columns.
+struct GraphStats {
+  int64_t num_nodes = 0;
+  int num_node_types = 0;
+  int64_t num_edges = 0;
+  int num_edge_types = 0;
+  double density = 0.0;  // num_edges / num_nodes^2
+  std::vector<int64_t> nodes_per_type;
+  std::vector<int64_t> edges_per_type;
+};
+
+GraphStats ComputeStats(const HeteroGraph& graph);
+
+/// Multi-line human-readable rendering with per-type breakdowns.
+std::string StatsToString(const HeteroGraph& graph, const GraphStats& stats);
+
+}  // namespace fedda::graph
+
+#endif  // FEDDA_GRAPH_STATS_H_

@@ -1,0 +1,85 @@
+#ifndef FEDDA_HGN_NODE_CLASSIFICATION_H_
+#define FEDDA_HGN_NODE_CLASSIFICATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "hgn/link_prediction.h"
+#include "hgn/simple_hgn.h"
+#include "hgn/task.h"
+
+namespace fedda::hgn {
+
+/// Node classification over a heterograph: a linear softmax head on top of
+/// Simple-HGN node embeddings (the other standard task of the HGB
+/// benchmark Simple-HGN was introduced on).
+///
+/// The head parameters live in the same ParameterStore as the encoder, so
+/// the task federates exactly like link prediction: construct the store
+/// with SimpleHgn::InitParameters + InitHeadParameters, then hand the task
+/// to an fl::Client.
+class NodeClassificationTask : public TrainableTask {
+ public:
+  /// `labels[v]` in [0, num_classes) for every global node id of `graph`;
+  /// `train_nodes` are the ids whose labels are visible to this task.
+  /// `model` and `graph` must outlive the task.
+  NodeClassificationTask(const SimpleHgn* model,
+                         const graph::HeteroGraph* graph,
+                         std::vector<int32_t> labels,
+                         std::vector<graph::NodeId> train_nodes,
+                         int num_classes);
+
+  /// Registers the softmax head ("head/W", "head/b") into `store`, which
+  /// must already hold the encoder parameters. Every task instance sharing
+  /// one model must call this against structurally identical stores (ids
+  /// are recorded on first call and reused).
+  void InitHeadParameters(tensor::ParameterStore* store, core::Rng* rng);
+
+  double TrainRound(tensor::ParameterStore* store, const TrainOptions& options,
+                    core::Rng* rng) const override;
+  int64_t num_examples() const override {
+    return static_cast<int64_t>(train_nodes_.size());
+  }
+
+  struct Result {
+    double accuracy = 0.0;
+    /// Unweighted mean of per-class F1 (classes absent from `eval_nodes`
+    /// are skipped).
+    double macro_f1 = 0.0;
+  };
+
+  /// Evaluates accuracy / macro-F1 over `eval_nodes` with one inference
+  /// forward pass.
+  Result Evaluate(tensor::ParameterStore* store,
+                  const std::vector<graph::NodeId>& eval_nodes) const;
+
+  int num_classes() const { return num_classes_; }
+  const MpStructure& mp() const { return mp_; }
+
+ private:
+  /// Logits for `nodes` on the tape (training path).
+  tensor::Var Logits(tensor::Graph* g, tensor::Var embeddings,
+                     const std::vector<int32_t>& nodes,
+                     tensor::ParameterStore* store) const;
+
+  const SimpleHgn* model_;
+  const graph::HeteroGraph* graph_;
+  std::vector<int32_t> labels_;
+  std::vector<graph::NodeId> train_nodes_;
+  int num_classes_;
+  MpStructure mp_;
+  int head_w_id_ = -1;
+  int head_b_id_ = -1;
+};
+
+/// Splits node ids into train/eval per-class-stratified subsets.
+struct NodeSplit {
+  std::vector<graph::NodeId> train;
+  std::vector<graph::NodeId> eval;
+};
+NodeSplit SplitNodes(int64_t num_nodes, double eval_fraction, core::Rng* rng);
+
+}  // namespace fedda::hgn
+
+#endif  // FEDDA_HGN_NODE_CLASSIFICATION_H_

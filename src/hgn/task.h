@@ -1,0 +1,34 @@
+#ifndef FEDDA_HGN_TASK_H_
+#define FEDDA_HGN_TASK_H_
+
+#include "core/rng.h"
+#include "tensor/parameter_store.h"
+
+namespace fedda::hgn {
+
+struct TrainOptions;
+
+/// A locally trainable objective over a (client's) graph. The FL layer is
+/// task-agnostic: anything implementing this interface can be federated
+/// with FedAvg/FedDA — the paper's conclusion that dynamic activation
+/// "potentially generalizes to other types of data" is exercised by running
+/// the same runner over link prediction and node classification.
+class TrainableTask {
+ public:
+  virtual ~TrainableTask() = default;
+
+  /// Runs one round of local training (E epochs of mini-batches) against
+  /// `store`; returns the mean batch loss (0 when there is nothing to
+  /// train).
+  virtual double TrainRound(tensor::ParameterStore* store,
+                            const TrainOptions& options,
+                            core::Rng* rng) const = 0;
+
+  /// Number of local training examples (edges, labeled nodes, ...); used
+  /// for weighted aggregation.
+  virtual int64_t num_examples() const = 0;
+};
+
+}  // namespace fedda::hgn
+
+#endif  // FEDDA_HGN_TASK_H_

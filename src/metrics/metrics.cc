@@ -1,0 +1,117 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace fedda::metrics {
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels) {
+  FEDDA_CHECK_EQ(scores.size(), labels.size());
+  int64_t num_pos = 0, num_neg = 0;
+  for (int label : labels) {
+    FEDDA_CHECK(label == 0 || label == 1);
+    label == 1 ? ++num_pos : ++num_neg;
+  }
+  FEDDA_CHECK_GT(num_pos, 0) << "AUC needs at least one positive";
+  FEDDA_CHECK_GT(num_neg, 0) << "AUC needs at least one negative";
+
+  // Rank-based (Mann-Whitney U) computation with midranks for ties.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  double pos_rank_sum = 0.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    // Ranks are 1-based; all tied entries get the average rank.
+    const double midrank = 0.5 * (static_cast<double>(i + 1) +
+                                  static_cast<double>(j + 1));
+    for (size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] == 1) pos_rank_sum += midrank;
+    }
+    i = j + 1;
+  }
+  const double u = pos_rank_sum -
+                   static_cast<double>(num_pos) *
+                       (static_cast<double>(num_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+double ReciprocalRank(double positive_score,
+                      const std::vector<double>& negative_scores) {
+  double rank = 1.0;
+  for (double s : negative_scores) {
+    if (s > positive_score) {
+      rank += 1.0;
+    } else if (s == positive_score) {
+      rank += 0.5;
+    }
+  }
+  return 1.0 / rank;
+}
+
+double MeanReciprocalRank(const std::vector<double>& reciprocal_ranks) {
+  if (reciprocal_ranks.empty()) return 0.0;
+  double total = 0.0;
+  for (double r : reciprocal_ranks) total += r;
+  return total / static_cast<double>(reciprocal_ranks.size());
+}
+
+bool HitsAtK(double positive_score,
+             const std::vector<double>& negative_scores, int k) {
+  FEDDA_CHECK_GT(k, 0);
+  int64_t ahead = 0;
+  for (double s : negative_scores) {
+    if (s >= positive_score) ++ahead;
+  }
+  return ahead < k;
+}
+
+double MeanHitsAtK(const std::vector<double>& positives,
+                   const std::vector<std::vector<double>>& negatives,
+                   int k) {
+  FEDDA_CHECK_EQ(positives.size(), negatives.size());
+  if (positives.empty()) return 0.0;
+  int64_t hits = 0;
+  for (size_t i = 0; i < positives.size(); ++i) {
+    if (HitsAtK(positives[i], negatives[i], k)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(positives.size());
+}
+
+double AccuracyAtThreshold(const std::vector<double>& scores,
+                           const std::vector<int>& labels, double threshold) {
+  FEDDA_CHECK_EQ(scores.size(), labels.size());
+  if (scores.empty()) return 0.0;
+  int64_t correct = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const int predicted = scores[i] >= threshold ? 1 : 0;
+    if (predicted == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.size());
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double total = 0.0;
+  for (double v : values) total += v;
+  out.mean = total / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - out.mean) * (v - out.mean);
+  out.std = std::sqrt(sq / static_cast<double>(values.size()));
+  return out;
+}
+
+}  // namespace fedda::metrics

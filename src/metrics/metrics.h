@@ -1,0 +1,48 @@
+#ifndef FEDDA_METRICS_METRICS_H_
+#define FEDDA_METRICS_METRICS_H_
+
+#include <vector>
+
+namespace fedda::metrics {
+
+/// Area under the ROC curve for binary labels. Ties in score contribute
+/// 0.5, the standard Mann-Whitney convention. Requires at least one
+/// positive and one negative label.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+/// Reciprocal rank of one query: the positive's rank among
+/// {positive} ∪ negatives when sorted by descending score. Ties are
+/// averaged (a negative equal to the positive counts 0.5 of a rank).
+double ReciprocalRank(double positive_score,
+                      const std::vector<double>& negative_scores);
+
+/// Mean of per-query reciprocal ranks.
+double MeanReciprocalRank(const std::vector<double>& reciprocal_ranks);
+
+/// Whether the positive ranks within the top k of {positive} ∪ negatives
+/// (ties against the positive count as beating it, the conservative
+/// convention).
+bool HitsAtK(double positive_score, const std::vector<double>& negative_scores,
+             int k);
+
+/// Fraction of queries whose positive ranks in the top k. `positives[i]`
+/// is query i's positive score, `negatives[i]` its candidate list.
+double MeanHitsAtK(const std::vector<double>& positives,
+                   const std::vector<std::vector<double>>& negatives, int k);
+
+/// Classification accuracy at a decision threshold on the score.
+double AccuracyAtThreshold(const std::vector<double>& scores,
+                           const std::vector<int>& labels, double threshold);
+
+/// Mean and (population) standard deviation over repeated runs; both are 0
+/// for empty input, std is 0 for a single value.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+}  // namespace fedda::metrics
+
+#endif  // FEDDA_METRICS_METRICS_H_

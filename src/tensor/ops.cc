@@ -1,0 +1,745 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedda::tensor {
+
+namespace {
+
+bool AnyRequiresGrad(const Graph& g, std::initializer_list<Var> vars) {
+  for (Var v : vars) {
+    if (g.requires_grad(v)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::shared_ptr<const std::vector<int32_t>> MakeIndices(
+    std::vector<int32_t> indices) {
+  return std::make_shared<const std::vector<int32_t>>(std::move(indices));
+}
+
+Var Add(Graph* g, Var a, Var b) {
+  const Tensor& av = g->value(a);
+  const Tensor& bv = g->value(b);
+  FEDDA_CHECK(av.SameShape(bv));
+  Tensor out = av;
+  out.Add(bv);
+  const bool rg = AnyRequiresGrad(*g, {a, b});
+  return g->AddNode(std::move(out), {a, b},
+                    [a, b](Graph* g, Var self) {
+                      const Tensor& dy = g->grad(self);
+                      if (g->requires_grad(a)) g->mutable_grad(a).Add(dy);
+                      if (g->requires_grad(b)) g->mutable_grad(b).Add(dy);
+                    },
+                    rg);
+}
+
+Var Sub(Graph* g, Var a, Var b) {
+  const Tensor& av = g->value(a);
+  const Tensor& bv = g->value(b);
+  FEDDA_CHECK(av.SameShape(bv));
+  Tensor out = av.Sub(bv);
+  const bool rg = AnyRequiresGrad(*g, {a, b});
+  return g->AddNode(std::move(out), {a, b},
+                    [a, b](Graph* g, Var self) {
+                      const Tensor& dy = g->grad(self);
+                      if (g->requires_grad(a)) g->mutable_grad(a).Add(dy);
+                      if (g->requires_grad(b)) g->mutable_grad(b).Axpy(-1.0f, dy);
+                    },
+                    rg);
+}
+
+Var Mul(Graph* g, Var a, Var b) {
+  const Tensor& av = g->value(a);
+  const Tensor& bv = g->value(b);
+  FEDDA_CHECK(av.SameShape(bv));
+  Tensor out(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) {
+    out.data()[i] = av.data()[i] * bv.data()[i];
+  }
+  const bool rg = AnyRequiresGrad(*g, {a, b});
+  return g->AddNode(
+      std::move(out), {a, b},
+      [a, b](Graph* g, Var self) {
+        const Tensor& dy = g->grad(self);
+        if (g->requires_grad(a)) {
+          Tensor& da = g->mutable_grad(a);
+          const Tensor& bv = g->value(b);
+          for (int64_t i = 0; i < dy.size(); ++i) {
+            da.data()[i] += dy.data()[i] * bv.data()[i];
+          }
+        }
+        if (g->requires_grad(b)) {
+          Tensor& db = g->mutable_grad(b);
+          const Tensor& av = g->value(a);
+          for (int64_t i = 0; i < dy.size(); ++i) {
+            db.data()[i] += dy.data()[i] * av.data()[i];
+          }
+        }
+      },
+      rg);
+}
+
+Var Scale(Graph* g, Var a, float alpha) {
+  Tensor out = g->value(a);
+  out.Scale(alpha);
+  const bool rg = g->requires_grad(a);
+  return g->AddNode(std::move(out), {a},
+                    [a, alpha](Graph* g, Var self) {
+                      if (g->requires_grad(a)) {
+                        g->mutable_grad(a).Axpy(alpha, g->grad(self));
+                      }
+                    },
+                    rg);
+}
+
+Var AddScalar(Graph* g, Var a, float alpha) {
+  Tensor out = g->value(a);
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] += alpha;
+  const bool rg = g->requires_grad(a);
+  return g->AddNode(std::move(out), {a},
+                    [a](Graph* g, Var self) {
+                      if (g->requires_grad(a)) {
+                        g->mutable_grad(a).Add(g->grad(self));
+                      }
+                    },
+                    rg);
+}
+
+Var MatMul(Graph* g, Var a, Var b) {
+  const Tensor& av = g->value(a);
+  const Tensor& bv = g->value(b);
+  Tensor out = MatMulValue(av, bv);
+  const bool rg = AnyRequiresGrad(*g, {a, b});
+  return g->AddNode(
+      std::move(out), {a, b},
+      [a, b](Graph* g, Var self) {
+        const Tensor& dy = g->grad(self);
+        if (g->requires_grad(a)) {
+          g->mutable_grad(a).Add(MatMulValue(dy, g->value(b).Transposed()));
+        }
+        if (g->requires_grad(b)) {
+          g->mutable_grad(b).Add(MatMulValue(g->value(a).Transposed(), dy));
+        }
+      },
+      rg);
+}
+
+Var AddBias(Graph* g, Var a, Var bias) {
+  const Tensor& av = g->value(a);
+  const Tensor& bv = g->value(bias);
+  FEDDA_CHECK_EQ(bv.rows(), 1);
+  FEDDA_CHECK_EQ(bv.cols(), av.cols());
+  Tensor out = av;
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    for (int64_t c = 0; c < out.cols(); ++c) {
+      out.at(r, c) += bv.at(0, c);
+    }
+  }
+  const bool rg = AnyRequiresGrad(*g, {a, bias});
+  return g->AddNode(
+      std::move(out), {a, bias},
+      [a, bias](Graph* g, Var self) {
+        const Tensor& dy = g->grad(self);
+        if (g->requires_grad(a)) g->mutable_grad(a).Add(dy);
+        if (g->requires_grad(bias)) {
+          Tensor& db = g->mutable_grad(bias);
+          for (int64_t r = 0; r < dy.rows(); ++r) {
+            for (int64_t c = 0; c < dy.cols(); ++c) {
+              db.at(0, c) += dy.at(r, c);
+            }
+          }
+        }
+      },
+      rg);
+}
+
+Var LeakyRelu(Graph* g, Var a, float slope) {
+  const Tensor& av = g->value(a);
+  Tensor out(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) {
+    const float x = av.data()[i];
+    out.data()[i] = x > 0.0f ? x : slope * x;
+  }
+  const bool rg = g->requires_grad(a);
+  return g->AddNode(
+      std::move(out), {a},
+      [a, slope](Graph* g, Var self) {
+        if (!g->requires_grad(a)) return;
+        const Tensor& dy = g->grad(self);
+        const Tensor& av = g->value(a);
+        Tensor& da = g->mutable_grad(a);
+        for (int64_t i = 0; i < dy.size(); ++i) {
+          da.data()[i] += dy.data()[i] * (av.data()[i] > 0.0f ? 1.0f : slope);
+        }
+      },
+      rg);
+}
+
+Var Elu(Graph* g, Var a, float alpha) {
+  const Tensor& av = g->value(a);
+  Tensor out(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) {
+    const float x = av.data()[i];
+    out.data()[i] = x > 0.0f ? x : alpha * (std::exp(x) - 1.0f);
+  }
+  const bool rg = g->requires_grad(a);
+  return g->AddNode(
+      std::move(out), {a},
+      [a, alpha](Graph* g, Var self) {
+        if (!g->requires_grad(a)) return;
+        const Tensor& dy = g->grad(self);
+        const Tensor& av = g->value(a);
+        const Tensor& yv = g->value(self);
+        Tensor& da = g->mutable_grad(a);
+        for (int64_t i = 0; i < dy.size(); ++i) {
+          // d/dx elu = 1 for x > 0, else elu(x) + alpha.
+          const float d =
+              av.data()[i] > 0.0f ? 1.0f : yv.data()[i] + alpha;
+          da.data()[i] += dy.data()[i] * d;
+        }
+      },
+      rg);
+}
+
+Var Sigmoid(Graph* g, Var a) {
+  const Tensor& av = g->value(a);
+  Tensor out(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) {
+    out.data()[i] = 1.0f / (1.0f + std::exp(-av.data()[i]));
+  }
+  const bool rg = g->requires_grad(a);
+  return g->AddNode(
+      std::move(out), {a},
+      [a](Graph* g, Var self) {
+        if (!g->requires_grad(a)) return;
+        const Tensor& dy = g->grad(self);
+        const Tensor& yv = g->value(self);
+        Tensor& da = g->mutable_grad(a);
+        for (int64_t i = 0; i < dy.size(); ++i) {
+          const float s = yv.data()[i];
+          da.data()[i] += dy.data()[i] * s * (1.0f - s);
+        }
+      },
+      rg);
+}
+
+Var Tanh(Graph* g, Var a) {
+  const Tensor& av = g->value(a);
+  Tensor out(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) {
+    out.data()[i] = std::tanh(av.data()[i]);
+  }
+  const bool rg = g->requires_grad(a);
+  return g->AddNode(
+      std::move(out), {a},
+      [a](Graph* g, Var self) {
+        if (!g->requires_grad(a)) return;
+        const Tensor& dy = g->grad(self);
+        const Tensor& yv = g->value(self);
+        Tensor& da = g->mutable_grad(a);
+        for (int64_t i = 0; i < dy.size(); ++i) {
+          const float t = yv.data()[i];
+          da.data()[i] += dy.data()[i] * (1.0f - t * t);
+        }
+      },
+      rg);
+}
+
+Var Exp(Graph* g, Var a) {
+  const Tensor& av = g->value(a);
+  Tensor out(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) {
+    out.data()[i] = std::exp(av.data()[i]);
+  }
+  const bool rg = g->requires_grad(a);
+  return g->AddNode(
+      std::move(out), {a},
+      [a](Graph* g, Var self) {
+        if (!g->requires_grad(a)) return;
+        const Tensor& dy = g->grad(self);
+        const Tensor& yv = g->value(self);
+        Tensor& da = g->mutable_grad(a);
+        for (int64_t i = 0; i < dy.size(); ++i) {
+          da.data()[i] += dy.data()[i] * yv.data()[i];
+        }
+      },
+      rg);
+}
+
+Var Log(Graph* g, Var a) {
+  const Tensor& av = g->value(a);
+  Tensor out(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) {
+    FEDDA_CHECK_GT(av.data()[i], 0.0f);
+    out.data()[i] = std::log(av.data()[i]);
+  }
+  const bool rg = g->requires_grad(a);
+  return g->AddNode(
+      std::move(out), {a},
+      [a](Graph* g, Var self) {
+        if (!g->requires_grad(a)) return;
+        const Tensor& dy = g->grad(self);
+        const Tensor& av = g->value(a);
+        Tensor& da = g->mutable_grad(a);
+        for (int64_t i = 0; i < dy.size(); ++i) {
+          da.data()[i] += dy.data()[i] / av.data()[i];
+        }
+      },
+      rg);
+}
+
+Var Sum(Graph* g, Var a) {
+  const Tensor& av = g->value(a);
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(av.Sum());
+  const bool rg = g->requires_grad(a);
+  return g->AddNode(
+      std::move(out), {a},
+      [a](Graph* g, Var self) {
+        if (!g->requires_grad(a)) return;
+        const float dy = g->grad(self).at(0, 0);
+        Tensor& da = g->mutable_grad(a);
+        for (int64_t i = 0; i < da.size(); ++i) da.data()[i] += dy;
+      },
+      rg);
+}
+
+Var Mean(Graph* g, Var a) {
+  const Tensor& av = g->value(a);
+  FEDDA_CHECK_GT(av.size(), 0);
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(av.Mean());
+  const bool rg = g->requires_grad(a);
+  const float inv = 1.0f / static_cast<float>(av.size());
+  return g->AddNode(
+      std::move(out), {a},
+      [a, inv](Graph* g, Var self) {
+        if (!g->requires_grad(a)) return;
+        const float dy = g->grad(self).at(0, 0) * inv;
+        Tensor& da = g->mutable_grad(a);
+        for (int64_t i = 0; i < da.size(); ++i) da.data()[i] += dy;
+      },
+      rg);
+}
+
+Var GatherRows(Graph* g, Var a,
+               std::shared_ptr<const std::vector<int32_t>> indices) {
+  const Tensor& av = g->value(a);
+  const int64_t cols = av.cols();
+  Tensor out(static_cast<int64_t>(indices->size()), cols);
+  for (size_t i = 0; i < indices->size(); ++i) {
+    const int32_t r = (*indices)[i];
+    FEDDA_CHECK(r >= 0 && r < av.rows()) << "gather index out of range";
+    std::copy(av.data() + r * cols, av.data() + (r + 1) * cols,
+              out.data() + static_cast<int64_t>(i) * cols);
+  }
+  const bool rg = g->requires_grad(a);
+  return g->AddNode(
+      std::move(out), {a},
+      [a, indices](Graph* g, Var self) {
+        if (!g->requires_grad(a)) return;
+        const Tensor& dy = g->grad(self);
+        Tensor& da = g->mutable_grad(a);
+        const int64_t cols = dy.cols();
+        for (size_t i = 0; i < indices->size(); ++i) {
+          const int32_t r = (*indices)[i];
+          const float* src = dy.data() + static_cast<int64_t>(i) * cols;
+          float* dst = da.data() + r * cols;
+          for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+        }
+      },
+      rg);
+}
+
+Var ScatterAddRows(Graph* g, Var a,
+                   std::shared_ptr<const std::vector<int32_t>> indices,
+                   int64_t num_rows) {
+  const Tensor& av = g->value(a);
+  FEDDA_CHECK_EQ(av.rows(), static_cast<int64_t>(indices->size()));
+  const int64_t cols = av.cols();
+  Tensor out(num_rows, cols);
+  for (size_t i = 0; i < indices->size(); ++i) {
+    const int32_t r = (*indices)[i];
+    FEDDA_CHECK(r >= 0 && r < num_rows) << "scatter index out of range";
+    const float* src = av.data() + static_cast<int64_t>(i) * cols;
+    float* dst = out.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+  }
+  const bool rg = g->requires_grad(a);
+  return g->AddNode(
+      std::move(out), {a},
+      [a, indices](Graph* g, Var self) {
+        if (!g->requires_grad(a)) return;
+        const Tensor& dy = g->grad(self);
+        Tensor& da = g->mutable_grad(a);
+        const int64_t cols = dy.cols();
+        for (size_t i = 0; i < indices->size(); ++i) {
+          const int32_t r = (*indices)[i];
+          const float* src = dy.data() + r * cols;
+          float* dst = da.data() + static_cast<int64_t>(i) * cols;
+          for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+        }
+      },
+      rg);
+}
+
+Var SegmentSoftmax(Graph* g, Var logits,
+                   std::shared_ptr<const std::vector<int32_t>> segment_ids,
+                   int64_t num_segments) {
+  const Tensor& lv = g->value(logits);
+  FEDDA_CHECK_EQ(lv.cols(), 1);
+  FEDDA_CHECK_EQ(lv.rows(), static_cast<int64_t>(segment_ids->size()));
+
+  // Numerically stable: shift each segment by its max.
+  std::vector<float> seg_max(static_cast<size_t>(num_segments),
+                             -std::numeric_limits<float>::infinity());
+  for (size_t i = 0; i < segment_ids->size(); ++i) {
+    const int32_t s = (*segment_ids)[i];
+    FEDDA_CHECK(s >= 0 && s < num_segments) << "segment id out of range";
+    seg_max[s] = std::max(seg_max[s], lv.data()[i]);
+  }
+  std::vector<float> seg_sum(static_cast<size_t>(num_segments), 0.0f);
+  Tensor out(lv.rows(), 1);
+  for (size_t i = 0; i < segment_ids->size(); ++i) {
+    const int32_t s = (*segment_ids)[i];
+    const float e = std::exp(lv.data()[i] - seg_max[s]);
+    out.data()[i] = e;
+    seg_sum[s] += e;
+  }
+  for (size_t i = 0; i < segment_ids->size(); ++i) {
+    const int32_t s = (*segment_ids)[i];
+    out.data()[i] /= seg_sum[s];
+  }
+
+  const bool rg = g->requires_grad(logits);
+  return g->AddNode(
+      std::move(out), {logits},
+      [logits, segment_ids, num_segments](Graph* g, Var self) {
+        if (!g->requires_grad(logits)) return;
+        const Tensor& dy = g->grad(self);
+        const Tensor& yv = g->value(self);
+        Tensor& dl = g->mutable_grad(logits);
+        // d l_i = y_i * (dy_i - sum_{j in seg(i)} y_j dy_j)
+        std::vector<float> seg_dot(static_cast<size_t>(num_segments), 0.0f);
+        for (size_t i = 0; i < segment_ids->size(); ++i) {
+          seg_dot[(*segment_ids)[i]] += yv.data()[i] * dy.data()[i];
+        }
+        for (size_t i = 0; i < segment_ids->size(); ++i) {
+          const int32_t s = (*segment_ids)[i];
+          dl.data()[i] += yv.data()[i] * (dy.data()[i] - seg_dot[s]);
+        }
+      },
+      rg);
+}
+
+Var ConcatCols(Graph* g, const std::vector<Var>& parts) {
+  FEDDA_CHECK(!parts.empty());
+  const int64_t rows = g->value(parts[0]).rows();
+  int64_t total_cols = 0;
+  bool rg = false;
+  for (Var p : parts) {
+    FEDDA_CHECK_EQ(g->value(p).rows(), rows);
+    total_cols += g->value(p).cols();
+    rg = rg || g->requires_grad(p);
+  }
+  Tensor out(rows, total_cols);
+  int64_t offset = 0;
+  for (Var p : parts) {
+    const Tensor& pv = g->value(p);
+    for (int64_t r = 0; r < rows; ++r) {
+      std::copy(pv.data() + r * pv.cols(), pv.data() + (r + 1) * pv.cols(),
+                out.data() + r * total_cols + offset);
+    }
+    offset += pv.cols();
+  }
+  std::vector<Var> inputs = parts;
+  return g->AddNode(
+      std::move(out), inputs,
+      [inputs](Graph* g, Var self) {
+        const Tensor& dy = g->grad(self);
+        const int64_t total_cols = dy.cols();
+        int64_t offset = 0;
+        for (Var p : inputs) {
+          const int64_t pc = g->value(p).cols();
+          if (g->requires_grad(p)) {
+            Tensor& dp = g->mutable_grad(p);
+            for (int64_t r = 0; r < dy.rows(); ++r) {
+              const float* src = dy.data() + r * total_cols + offset;
+              float* dst = dp.data() + r * pc;
+              for (int64_t c = 0; c < pc; ++c) dst[c] += src[c];
+            }
+          }
+          offset += pc;
+        }
+      },
+      rg);
+}
+
+Var ConcatRows(Graph* g, const std::vector<Var>& parts) {
+  FEDDA_CHECK(!parts.empty());
+  const int64_t cols = g->value(parts[0]).cols();
+  int64_t total_rows = 0;
+  bool rg = false;
+  for (Var p : parts) {
+    FEDDA_CHECK_EQ(g->value(p).cols(), cols);
+    total_rows += g->value(p).rows();
+    rg = rg || g->requires_grad(p);
+  }
+  Tensor out(total_rows, cols);
+  int64_t offset = 0;
+  for (Var p : parts) {
+    const Tensor& pv = g->value(p);
+    std::copy(pv.data(), pv.data() + pv.size(), out.data() + offset * cols);
+    offset += pv.rows();
+  }
+  std::vector<Var> inputs = parts;
+  return g->AddNode(
+      std::move(out), inputs,
+      [inputs](Graph* g, Var self) {
+        const Tensor& dy = g->grad(self);
+        const int64_t cols = dy.cols();
+        int64_t offset = 0;
+        for (Var p : inputs) {
+          const int64_t pr = g->value(p).rows();
+          if (g->requires_grad(p)) {
+            Tensor& dp = g->mutable_grad(p);
+            const float* src = dy.data() + offset * cols;
+            for (int64_t i = 0; i < pr * cols; ++i) dp.data()[i] += src[i];
+          }
+          offset += pr;
+        }
+      },
+      rg);
+}
+
+Var RowL2Normalize(Graph* g, Var a, float eps) {
+  const Tensor& av = g->value(a);
+  const int64_t rows = av.rows(), cols = av.cols();
+  Tensor out(rows, cols);
+  auto norms = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(rows), 0.0f);
+  for (int64_t r = 0; r < rows; ++r) {
+    double sq = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      const float x = av.at(r, c);
+      sq += static_cast<double>(x) * x;
+    }
+    const float n = std::max(static_cast<float>(std::sqrt(sq)), eps);
+    (*norms)[static_cast<size_t>(r)] = n;
+    for (int64_t c = 0; c < cols; ++c) out.at(r, c) = av.at(r, c) / n;
+  }
+  const bool rg = g->requires_grad(a);
+  return g->AddNode(
+      std::move(out), {a},
+      [a, norms](Graph* g, Var self) {
+        if (!g->requires_grad(a)) return;
+        const Tensor& dy = g->grad(self);
+        const Tensor& yv = g->value(self);
+        Tensor& da = g->mutable_grad(a);
+        const int64_t rows = dy.rows(), cols = dy.cols();
+        for (int64_t r = 0; r < rows; ++r) {
+          // da_r = (dy_r - y_r * (y_r . dy_r)) / ||a_r||
+          float dot = 0.0f;
+          for (int64_t c = 0; c < cols; ++c) dot += yv.at(r, c) * dy.at(r, c);
+          const float inv_n = 1.0f / (*norms)[static_cast<size_t>(r)];
+          for (int64_t c = 0; c < cols; ++c) {
+            da.at(r, c) += (dy.at(r, c) - yv.at(r, c) * dot) * inv_n;
+          }
+        }
+      },
+      rg);
+}
+
+Var RowDot(Graph* g, Var a, Var b) {
+  const Tensor& av = g->value(a);
+  const Tensor& bv = g->value(b);
+  FEDDA_CHECK(av.SameShape(bv));
+  Tensor out(av.rows(), 1);
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    float dot = 0.0f;
+    for (int64_t c = 0; c < av.cols(); ++c) dot += av.at(r, c) * bv.at(r, c);
+    out.at(r, 0) = dot;
+  }
+  const bool rg = AnyRequiresGrad(*g, {a, b});
+  return g->AddNode(
+      std::move(out), {a, b},
+      [a, b](Graph* g, Var self) {
+        const Tensor& dy = g->grad(self);
+        const Tensor& av = g->value(a);
+        const Tensor& bv = g->value(b);
+        if (g->requires_grad(a)) {
+          Tensor& da = g->mutable_grad(a);
+          for (int64_t r = 0; r < av.rows(); ++r) {
+            const float d = dy.at(r, 0);
+            for (int64_t c = 0; c < av.cols(); ++c) {
+              da.at(r, c) += d * bv.at(r, c);
+            }
+          }
+        }
+        if (g->requires_grad(b)) {
+          Tensor& db = g->mutable_grad(b);
+          for (int64_t r = 0; r < av.rows(); ++r) {
+            const float d = dy.at(r, 0);
+            for (int64_t c = 0; c < av.cols(); ++c) {
+              db.at(r, c) += d * av.at(r, c);
+            }
+          }
+        }
+      },
+      rg);
+}
+
+Var RowScale(Graph* g, Var a, Var s) {
+  const Tensor& av = g->value(a);
+  const Tensor& sv = g->value(s);
+  FEDDA_CHECK_EQ(sv.cols(), 1);
+  FEDDA_CHECK_EQ(sv.rows(), av.rows());
+  Tensor out(av.rows(), av.cols());
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    const float f = sv.at(r, 0);
+    for (int64_t c = 0; c < av.cols(); ++c) out.at(r, c) = f * av.at(r, c);
+  }
+  const bool rg = AnyRequiresGrad(*g, {a, s});
+  return g->AddNode(
+      std::move(out), {a, s},
+      [a, s](Graph* g, Var self) {
+        const Tensor& dy = g->grad(self);
+        const Tensor& av = g->value(a);
+        const Tensor& sv = g->value(s);
+        if (g->requires_grad(a)) {
+          Tensor& da = g->mutable_grad(a);
+          for (int64_t r = 0; r < dy.rows(); ++r) {
+            const float f = sv.at(r, 0);
+            for (int64_t c = 0; c < dy.cols(); ++c) {
+              da.at(r, c) += f * dy.at(r, c);
+            }
+          }
+        }
+        if (g->requires_grad(s)) {
+          Tensor& ds = g->mutable_grad(s);
+          for (int64_t r = 0; r < dy.rows(); ++r) {
+            float dot = 0.0f;
+            for (int64_t c = 0; c < dy.cols(); ++c) {
+              dot += av.at(r, c) * dy.at(r, c);
+            }
+            ds.at(r, 0) += dot;
+          }
+        }
+      },
+      rg);
+}
+
+Var BceWithLogits(Graph* g, Var logits, const Tensor& labels) {
+  const Tensor& zv = g->value(logits);
+  FEDDA_CHECK_EQ(zv.cols(), 1);
+  FEDDA_CHECK(zv.SameShape(labels));
+  FEDDA_CHECK_GT(zv.rows(), 0);
+  // Stable form: loss_i = max(z,0) - z*y + log(1 + exp(-|z|)).
+  double total = 0.0;
+  for (int64_t i = 0; i < zv.rows(); ++i) {
+    const float z = zv.at(i, 0);
+    const float y = labels.at(i, 0);
+    total += std::max(z, 0.0f) - z * y + std::log1p(std::exp(-std::fabs(z)));
+  }
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(total / zv.rows());
+  const bool rg = g->requires_grad(logits);
+  auto labels_copy = std::make_shared<Tensor>(labels);
+  return g->AddNode(
+      std::move(out), {logits},
+      [logits, labels_copy](Graph* g, Var self) {
+        if (!g->requires_grad(logits)) return;
+        const float dy = g->grad(self).at(0, 0);
+        const Tensor& zv = g->value(logits);
+        Tensor& dz = g->mutable_grad(logits);
+        const float inv_n = 1.0f / static_cast<float>(zv.rows());
+        for (int64_t i = 0; i < zv.rows(); ++i) {
+          const float sig = 1.0f / (1.0f + std::exp(-zv.at(i, 0)));
+          dz.at(i, 0) += dy * (sig - labels_copy->at(i, 0)) * inv_n;
+        }
+      },
+      rg);
+}
+
+Var SoftmaxCrossEntropy(Graph* g, Var logits,
+                        std::shared_ptr<const std::vector<int32_t>> labels) {
+  const Tensor& zv = g->value(logits);
+  const int64_t n = zv.rows(), c = zv.cols();
+  FEDDA_CHECK_GT(n, 0);
+  FEDDA_CHECK_GT(c, 0);
+  FEDDA_CHECK_EQ(static_cast<int64_t>(labels->size()), n);
+
+  // Cache the row-wise softmax for the backward pass.
+  auto softmax = std::make_shared<Tensor>(n, c);
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t label = (*labels)[static_cast<size_t>(i)];
+    FEDDA_CHECK(label >= 0 && label < c) << "label out of range";
+    float row_max = zv.at(i, 0);
+    for (int64_t j = 1; j < c; ++j) row_max = std::max(row_max, zv.at(i, j));
+    double sum_exp = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      const float e = std::exp(zv.at(i, j) - row_max);
+      softmax->at(i, j) = e;
+      sum_exp += e;
+    }
+    for (int64_t j = 0; j < c; ++j) {
+      softmax->at(i, j) = static_cast<float>(softmax->at(i, j) / sum_exp);
+    }
+    // -log softmax[label] in the shifted form.
+    total += std::log(sum_exp) - (zv.at(i, label) - row_max);
+  }
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(total / static_cast<double>(n));
+  const bool rg = g->requires_grad(logits);
+  return g->AddNode(
+      std::move(out), {logits},
+      [logits, labels, softmax](Graph* g, Var self) {
+        if (!g->requires_grad(logits)) return;
+        const float dy = g->grad(self).at(0, 0);
+        Tensor& dz = g->mutable_grad(logits);
+        const int64_t n = softmax->rows(), c = softmax->cols();
+        const float inv_n = 1.0f / static_cast<float>(n);
+        for (int64_t i = 0; i < n; ++i) {
+          const int32_t label = (*labels)[static_cast<size_t>(i)];
+          for (int64_t j = 0; j < c; ++j) {
+            const float onehot = j == label ? 1.0f : 0.0f;
+            dz.at(i, j) += dy * (softmax->at(i, j) - onehot) * inv_n;
+          }
+        }
+      },
+      rg);
+}
+
+Var Dropout(Graph* g, Var a, float p, core::Rng* rng) {
+  FEDDA_CHECK(p >= 0.0f && p < 1.0f);
+  if (p == 0.0f || !g->training()) return a;
+  FEDDA_CHECK(rng != nullptr);
+  const Tensor& av = g->value(a);
+  const float keep = 1.0f - p;
+  auto mask = std::make_shared<Tensor>(av.rows(), av.cols());
+  Tensor out(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) {
+    const float m = rng->Bernoulli(keep) ? 1.0f / keep : 0.0f;
+    mask->data()[i] = m;
+    out.data()[i] = m * av.data()[i];
+  }
+  const bool rg = g->requires_grad(a);
+  return g->AddNode(
+      std::move(out), {a},
+      [a, mask](Graph* g, Var self) {
+        if (!g->requires_grad(a)) return;
+        const Tensor& dy = g->grad(self);
+        Tensor& da = g->mutable_grad(a);
+        for (int64_t i = 0; i < dy.size(); ++i) {
+          da.data()[i] += dy.data()[i] * mask->data()[i];
+        }
+      },
+      rg);
+}
+
+}  // namespace fedda::tensor

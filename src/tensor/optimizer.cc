@@ -1,0 +1,55 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+namespace fedda::tensor {
+
+void Sgd::Step(ParameterStore* params) {
+  for (int i = 0; i < params->num_groups(); ++i) {
+    Tensor& w = params->value(i);
+    const Tensor& g = params->grad(i);
+    for (int64_t k = 0; k < w.size(); ++k) {
+      const float grad = g.data()[k] + weight_decay_ * w.data()[k];
+      w.data()[k] -= learning_rate_ * grad;
+    }
+  }
+}
+
+void Adam::Step(ParameterStore* params) {
+  if (m_.empty()) {
+    m_.reserve(static_cast<size_t>(params->num_groups()));
+    v_.reserve(static_cast<size_t>(params->num_groups()));
+    for (int i = 0; i < params->num_groups(); ++i) {
+      const Tensor& w = params->value(i);
+      m_.push_back(Tensor::Zeros(w.rows(), w.cols()));
+      v_.push_back(Tensor::Zeros(w.rows(), w.cols()));
+    }
+  }
+  FEDDA_CHECK_EQ(static_cast<int>(m_.size()), params->num_groups());
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (int i = 0; i < params->num_groups(); ++i) {
+    Tensor& w = params->value(i);
+    const Tensor& g = params->grad(i);
+    Tensor& m = m_[static_cast<size_t>(i)];
+    Tensor& v = v_[static_cast<size_t>(i)];
+    FEDDA_CHECK(m.SameShape(w));
+    for (int64_t k = 0; k < w.size(); ++k) {
+      const float grad = g.data()[k] + weight_decay_ * w.data()[k];
+      m.data()[k] = beta1_ * m.data()[k] + (1.0f - beta1_) * grad;
+      v.data()[k] = beta2_ * v.data()[k] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = m.data()[k] / bc1;
+      const float v_hat = v.data()[k] / bc2;
+      w.data()[k] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+void Adam::ResetState() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+}  // namespace fedda::tensor

@@ -1,0 +1,66 @@
+#ifndef FEDDA_TENSOR_OPTIMIZER_H_
+#define FEDDA_TENSOR_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "tensor/parameter_store.h"
+
+namespace fedda::tensor {
+
+/// First-order optimizer over a ParameterStore. Call after gradients have
+/// been accumulated by Graph::Backward; Step consumes (but does not clear)
+/// the grad slots — callers ZeroGrads() between batches.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update to every group in `params`.
+  virtual void Step(ParameterStore* params) = 0;
+};
+
+/// Plain SGD with optional L2 weight decay:
+///   theta <- theta - lr * (grad + weight_decay * theta).
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float learning_rate, float weight_decay = 0.0f)
+      : learning_rate_(learning_rate), weight_decay_(weight_decay) {}
+
+  void Step(ParameterStore* params) override;
+
+ private:
+  float learning_rate_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction and optional weight decay.
+/// Moment state is keyed by group index and lazily sized on first Step, so
+/// one Adam instance must only ever be used with stores of one structure.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float learning_rate, float beta1 = 0.9f, float beta2 = 0.999f,
+                float epsilon = 1e-8f, float weight_decay = 0.0f)
+      : learning_rate_(learning_rate), beta1_(beta1), beta2_(beta2),
+        epsilon_(epsilon), weight_decay_(weight_decay) {}
+
+  void Step(ParameterStore* params) override;
+
+  /// Drops moment state (e.g. when the surrounding FL round resets weights).
+  void ResetState();
+
+  int64_t step_count() const { return t_; }
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace fedda::tensor
+
+#endif  // FEDDA_TENSOR_OPTIMIZER_H_

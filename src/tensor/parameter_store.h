@@ -1,0 +1,85 @@
+#ifndef FEDDA_TENSOR_PARAMETER_STORE_H_
+#define FEDDA_TENSOR_PARAMETER_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedda::tensor {
+
+/// Metadata describing one parameter group (a named tensor).
+struct ParamInfo {
+  std::string name;
+  /// Member of the paper's disentangled set [N_d]: parameters attributable
+  /// to a single edge type (edge-type embeddings, W_r transforms, DistMult
+  /// relation vectors). Only these may be masked per-client by FedDA.
+  bool disentangled = false;
+  /// The edge type this group is attributed to, or -1.
+  int edge_type = -1;
+};
+
+/// Ordered collection of named parameter tensors with paired gradient slots.
+///
+/// This is the unit of federation: clients and server each hold a store with
+/// identical structure, broadcast/aggregate by group id, and FedDA's
+/// activation masks index into either the group space [0, num_groups) or the
+/// flat scalar space [0, num_scalars) (see fl/activation.h).
+class ParameterStore {
+ public:
+  ParameterStore() = default;
+  ParameterStore(const ParameterStore&) = default;
+  ParameterStore& operator=(const ParameterStore&) = default;
+  ParameterStore(ParameterStore&&) = default;
+  ParameterStore& operator=(ParameterStore&&) = default;
+
+  /// Registers a group; names must be unique. Returns the group id
+  /// (sequential from 0).
+  int Register(const std::string& name, Tensor init, bool disentangled = false,
+               int edge_type = -1);
+
+  int num_groups() const { return static_cast<int>(values_.size()); }
+  /// Total scalar count N across all groups.
+  int64_t num_scalars() const { return num_scalars_; }
+  /// Scalar count restricted to disentangled groups (the paper's N_d).
+  int64_t num_disentangled_scalars() const;
+
+  Tensor& value(int id);
+  const Tensor& value(int id) const;
+  Tensor& grad(int id);
+  const Tensor& grad(int id) const;
+  const ParamInfo& info(int id) const;
+
+  /// Group id by name, or -1.
+  int FindByName(const std::string& name) const;
+
+  /// Start of group `id` in the flat scalar space.
+  int64_t group_offset(int id) const;
+
+  /// Group ids in [N_d].
+  std::vector<int> DisentangledGroups() const;
+
+  void ZeroGrads();
+
+  /// Whether `other` has identical group names and shapes.
+  bool SameStructure(const ParameterStore& other) const;
+
+  /// Copies all values (not grads) from `other`; structures must match.
+  void CopyValuesFrom(const ParameterStore& other);
+
+  /// All values flattened into one scalar vector of length num_scalars().
+  std::vector<float> FlattenValues() const;
+  /// Restores values from a flat vector produced by FlattenValues().
+  void SetFromFlat(const std::vector<float>& flat);
+
+ private:
+  std::vector<Tensor> values_;
+  std::vector<Tensor> grads_;
+  std::vector<ParamInfo> infos_;
+  std::vector<int64_t> offsets_;
+  int64_t num_scalars_ = 0;
+};
+
+}  // namespace fedda::tensor
+
+#endif  // FEDDA_TENSOR_PARAMETER_STORE_H_

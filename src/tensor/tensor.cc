@@ -1,0 +1,190 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "core/string_util.h"
+
+namespace fedda::tensor {
+
+Tensor Tensor::Ones(int64_t rows, int64_t cols) {
+  return Full(rows, cols, 1.0f);
+}
+
+Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
+  Tensor t(rows, cols);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(int64_t rows, int64_t cols,
+                          std::vector<float> values) {
+  FEDDA_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::RowVector(std::vector<float> values) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  return FromVector(1, n, std::move(values));
+}
+
+Tensor Tensor::ColVector(std::vector<float> values) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  return FromVector(n, 1, std::move(values));
+}
+
+Tensor Tensor::Identity(int64_t n) {
+  Tensor t(n, n);
+  for (int64_t i = 0; i < n; ++i) t.at(i, i) = 1.0f;
+  return t;
+}
+
+Tensor Tensor::RandomNormal(int64_t rows, int64_t cols, core::Rng* rng,
+                            float mean, float stddev) {
+  Tensor t(rows, cols);
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng->Gaussian(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomUniform(int64_t rows, int64_t cols, core::Rng* rng,
+                             float lo, float hi) {
+  Tensor t(rows, cols);
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::GlorotUniform(int64_t fan_in, int64_t fan_out,
+                             core::Rng* rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandomUniform(fan_in, fan_out, rng, -limit, limit);
+}
+
+void Tensor::Fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+void Tensor::Add(const Tensor& other) {
+  FEDDA_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  FEDDA_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Tensor::Scale(float alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+Tensor Tensor::Sub(const Tensor& other) const {
+  FEDDA_CHECK(SameShape(other));
+  Tensor out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] - other.data_[i];
+  }
+  return out;
+}
+
+double Tensor::Sum() const {
+  double total = 0.0;
+  for (float v : data_) total += v;
+  return total;
+}
+
+double Tensor::Mean() const {
+  if (data_.empty()) return 0.0;
+  return Sum() / static_cast<double>(data_.size());
+}
+
+double Tensor::AbsMean() const {
+  if (data_.empty()) return 0.0;
+  double total = 0.0;
+  for (float v : data_) total += std::fabs(v);
+  return total / static_cast<double>(data_.size());
+}
+
+double Tensor::Norm() const {
+  double total = 0.0;
+  for (float v : data_) total += static_cast<double>(v) * v;
+  return std::sqrt(total);
+}
+
+double Tensor::MaxAbs() const {
+  double best = 0.0;
+  for (float v : data_) best = std::max(best, std::fabs(double(v)));
+  return best;
+}
+
+Tensor Tensor::Transposed() const {
+  Tensor out(cols_, rows_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) {
+      out.at(c, r) = at(r, c);
+    }
+  }
+  return out;
+}
+
+bool Tensor::Equals(const Tensor& other) const {
+  return SameShape(other) && data_ == other.data_;
+}
+
+bool Tensor::AllClose(const Tensor& other, float tolerance) const {
+  if (!SameShape(other)) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ToString() const {
+  constexpr int64_t kMaxRender = 8;
+  std::string out =
+      core::StrFormat("Tensor(%lld x %lld)", static_cast<long long>(rows_),
+                      static_cast<long long>(cols_));
+  if (rows_ > kMaxRender || cols_ > kMaxRender) return out + " [...]";
+  out += " [";
+  for (int64_t r = 0; r < rows_; ++r) {
+    out += r == 0 ? "[" : ", [";
+    for (int64_t c = 0; c < cols_; ++c) {
+      if (c > 0) out += ", ";
+      out += core::FormatDouble(at(r, c), 4);
+    }
+    out += "]";
+  }
+  out += "]";
+  return out;
+}
+
+Tensor MatMulValue(const Tensor& a, const Tensor& b) {
+  FEDDA_CHECK_EQ(a.cols(), b.rows());
+  Tensor out(a.rows(), b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  // i-k-j loop order: streams through B rows, cache-friendly for row-major.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aval = ad[i * k + kk];
+      if (aval == 0.0f) continue;
+      const float* brow = bd + kk * n;
+      float* orow = od + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += aval * brow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace fedda::tensor

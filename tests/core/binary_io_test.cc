@@ -1,0 +1,91 @@
+#include "core/binary_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace fedda::core {
+namespace {
+
+class BinaryIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/fedda_binary_io_test.bin";
+};
+
+TEST_F(BinaryIoTest, RoundTripAllTypes) {
+  {
+    BinaryWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    writer.WriteU32(0xDEADBEEF);
+    writer.WriteU64(0x1122334455667788ULL);
+    writer.WriteI64(-42);
+    writer.WriteFloat(3.5f);
+    writer.WriteString("hello fedda");
+    writer.WriteFloats({1.0f, -2.0f, 0.5f});
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  EXPECT_EQ(reader.ReadU32(), 0xDEADBEEF);
+  EXPECT_EQ(reader.ReadU64(), 0x1122334455667788ULL);
+  EXPECT_EQ(reader.ReadI64(), -42);
+  EXPECT_EQ(reader.ReadFloat(), 3.5f);
+  EXPECT_EQ(reader.ReadString(), "hello fedda");
+  EXPECT_EQ(reader.ReadFloats(3), (std::vector<float>{1.0f, -2.0f, 0.5f}));
+  EXPECT_TRUE(reader.AtEof());
+  EXPECT_TRUE(reader.status().ok());
+}
+
+TEST_F(BinaryIoTest, EmptyString) {
+  {
+    BinaryWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    writer.WriteString("");
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  EXPECT_EQ(reader.ReadString(), "");
+  EXPECT_TRUE(reader.AtEof());
+}
+
+TEST_F(BinaryIoTest, TruncatedReadReportsError) {
+  {
+    BinaryWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    writer.WriteU32(7);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  reader.ReadU64();  // asks for more bytes than exist
+  EXPECT_FALSE(reader.status().ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+  // Subsequent reads stay failed and return defaults.
+  EXPECT_EQ(reader.ReadU32(), 0u);
+  EXPECT_FALSE(reader.AtEof());
+}
+
+TEST_F(BinaryIoTest, ImplausibleStringLengthRejected) {
+  {
+    BinaryWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    writer.WriteU32(0x7FFFFFFF);  // bogus length prefix
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  reader.ReadString();
+  EXPECT_FALSE(reader.status().ok());
+}
+
+TEST_F(BinaryIoTest, OpenMissingFileFails) {
+  BinaryReader reader;
+  EXPECT_FALSE(reader.Open("/nonexistent_dir_xyz/file.bin").ok());
+  BinaryWriter writer;
+  EXPECT_FALSE(writer.Open("/nonexistent_dir_xyz/file.bin").ok());
+}
+
+}  // namespace
+}  // namespace fedda::core

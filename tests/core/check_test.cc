@@ -1,0 +1,63 @@
+#include "core/check.h"
+
+#include <gtest/gtest.h>
+
+#include "core/status.h"
+
+namespace fedda::core {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  FEDDA_CHECK(true);
+  FEDDA_CHECK_EQ(1, 1);
+  FEDDA_CHECK_NE(1, 2);
+  FEDDA_CHECK_LT(1, 2);
+  FEDDA_CHECK_LE(2, 2);
+  FEDDA_CHECK_GT(3, 2);
+  FEDDA_CHECK_GE(3, 3);
+  FEDDA_CHECK_OK(Status::OK());
+}
+
+TEST(CheckDeathTest, FailureAbortsWithConditionText) {
+  EXPECT_DEATH(FEDDA_CHECK(1 == 2) << "extra context", "1 == 2");
+  // The failure stream inserts a space before each streamed value.
+  EXPECT_DEATH(FEDDA_CHECK(false) << "payload" << 42, "payload 42");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosReportValues) {
+  const int x = 7;
+  EXPECT_DEATH(FEDDA_CHECK_EQ(x, 9), "x = 7");
+  EXPECT_DEATH(FEDDA_CHECK_LT(x, 3), "x = 7");
+  EXPECT_DEATH(FEDDA_CHECK_GE(x, 100), "x = 7");
+}
+
+TEST(CheckDeathTest, CheckOkReportsStatus) {
+  EXPECT_DEATH(FEDDA_CHECK_OK(Status::NotFound("missing shard")),
+               "NotFound: missing shard");
+}
+
+TEST(CheckTest, StreamedContextOnlyEvaluatedOnFailure) {
+  // The streaming operand must not run when the check passes.
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "context";
+  };
+  FEDDA_CHECK(true) << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckTest, WorksInsideExpressionsWithSideEffects) {
+  // Checks must compose with if/else without dangling-else surprises.
+  bool reached = false;
+  if (true) {
+    FEDDA_CHECK(true);
+    reached = true;
+  } else {
+    reached = false;
+  }
+  EXPECT_TRUE(reached);
+}
+
+}  // namespace
+}  // namespace fedda::core

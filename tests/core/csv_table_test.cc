@@ -1,0 +1,81 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/csv_writer.h"
+#include "core/table_printer.h"
+
+namespace fedda::core {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/fedda_csv_test.csv";
+};
+
+TEST_F(CsvWriterTest, WritesHeaderAndRows) {
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path_, {"round", "auc"}).ok());
+  writer.WriteRow(std::vector<std::string>{"0", "0.5"});
+  writer.WriteRow(std::vector<double>{1.0, 0.75});
+  writer.Close();
+  EXPECT_EQ(ReadFile(path_), "round,auc\n0,0.5\n1.000000,0.750000\n");
+}
+
+TEST_F(CsvWriterTest, EscapesSpecialCharacters) {
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path_, {"name"}).ok());
+  writer.WriteRow(std::vector<std::string>{"has,comma"});
+  writer.WriteRow(std::vector<std::string>{"has\"quote"});
+  writer.Close();
+  EXPECT_EQ(ReadFile(path_), "name\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST_F(CsvWriterTest, OpenFailsForBadPath) {
+  CsvWriter writer;
+  EXPECT_FALSE(writer.Open("/nonexistent_dir_xyz/file.csv", {"a"}).ok());
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorInsertedBetweenSections) {
+  TablePrinter table({"h"});
+  table.AddRow({"a"});
+  table.AddSeparator();
+  table.AddRow({"b"});
+  const std::string out = table.ToString();
+  // Top border, header separator, section separator, bottom border.
+  size_t separators = 0;
+  for (size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++separators;
+  }
+  EXPECT_EQ(separators, 4u);
+}
+
+TEST(TablePrinterTest, RaggedRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| 1 |   |   |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedda::core

@@ -1,0 +1,102 @@
+#include "core/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace fedda::core {
+namespace {
+
+std::vector<char*> MakeArgv(std::vector<std::string>* storage) {
+  std::vector<char*> argv;
+  for (auto& s : *storage) argv.push_back(s.data());
+  return argv;
+}
+
+TEST(FlagParserTest, ParsesAllTypes) {
+  FlagParser flags;
+  int rounds = 40;
+  int64_t big = 7;
+  double lr = 0.1;
+  bool verbose = false;
+  std::string name = "default";
+  flags.AddInt("rounds", &rounds, "");
+  flags.AddInt("big", &big, "");
+  flags.AddDouble("lr", &lr, "");
+  flags.AddBool("verbose", &verbose, "");
+  flags.AddString("name", &name, "");
+
+  std::vector<std::string> storage = {"prog", "--rounds=10", "--big=123456789012",
+                                      "--lr=0.005", "--verbose=true",
+                                      "--name=fedda"};
+  auto argv = MakeArgv(&storage);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(rounds, 10);
+  EXPECT_EQ(big, 123456789012LL);
+  EXPECT_DOUBLE_EQ(lr, 0.005);
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(name, "fedda");
+}
+
+TEST(FlagParserTest, DefaultsSurviveWhenUnset) {
+  FlagParser flags;
+  int rounds = 40;
+  flags.AddInt("rounds", &rounds, "");
+  std::vector<std::string> storage = {"prog"};
+  auto argv = MakeArgv(&storage);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(rounds, 40);
+}
+
+TEST(FlagParserTest, BareBoolFlagMeansTrue) {
+  FlagParser flags;
+  bool verbose = false;
+  flags.AddBool("verbose", &verbose, "");
+  std::vector<std::string> storage = {"prog", "--verbose"};
+  auto argv = MakeArgv(&storage);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagParserTest, UnknownFlagRejected) {
+  FlagParser flags;
+  std::vector<std::string> storage = {"prog", "--nope=1"};
+  auto argv = MakeArgv(&storage);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, MalformedValuesRejected) {
+  FlagParser flags;
+  int rounds = 0;
+  double lr = 0.0;
+  flags.AddInt("rounds", &rounds, "");
+  flags.AddDouble("lr", &lr, "");
+  {
+    std::vector<std::string> storage = {"prog", "--rounds=abc"};
+    auto argv = MakeArgv(&storage);
+    EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  }
+  {
+    std::vector<std::string> storage = {"prog", "--lr=1.5x"};
+    auto argv = MakeArgv(&storage);
+    EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  }
+}
+
+TEST(FlagParserTest, NonFlagArgumentRejected) {
+  FlagParser flags;
+  std::vector<std::string> storage = {"prog", "positional"};
+  auto argv = MakeArgv(&storage);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, UsageListsFlagsWithDefaults) {
+  FlagParser flags;
+  int rounds = 40;
+  flags.AddInt("rounds", &rounds, "communication rounds");
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--rounds"), std::string::npos);
+  EXPECT_NE(usage.find("40"), std::string::npos);
+  EXPECT_NE(usage.find("communication rounds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedda::core

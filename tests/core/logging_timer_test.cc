@@ -1,0 +1,80 @@
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/logging.h"
+#include "core/timer.h"
+
+namespace fedda::core {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelFilterSuppressesBelowThreshold) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  // Captures clog to verify kInfo is filtered.
+  std::ostringstream captured;
+  std::streambuf* old = std::clog.rdbuf(captured.rdbuf());
+  FEDDA_LOG(kInfo) << "should not appear";
+  std::clog.rdbuf(old);
+  EXPECT_TRUE(captured.str().empty());
+}
+
+TEST(LoggingTest, EmitsTaggedLine) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  std::ostringstream captured;
+  std::streambuf* old = std::clog.rdbuf(captured.rdbuf());
+  FEDDA_LOG(kInfo) << "hello " << 42;
+  std::clog.rdbuf(old);
+  const std::string line = captured.str();
+  EXPECT_NE(line.find("[I "), std::string::npos);
+  EXPECT_NE(line.find("logging_timer_test.cc"), std::string::npos);
+  EXPECT_NE(line.find("hello 42"), std::string::npos);
+}
+
+TEST(LoggingTest, WarningsGoToStderr) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  std::ostringstream captured;
+  std::streambuf* old = std::cerr.rdbuf(captured.rdbuf());
+  FEDDA_LOG(kWarning) << "warned";
+  std::cerr.rdbuf(old);
+  EXPECT_NE(captured.str().find("[W "), std::string::npos);
+}
+
+TEST(LoggingTest, SetGetRoundTrip) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1000.0,
+              timer.ElapsedMillis() * 0.5);
+}
+
+TEST(WallTimerTest, ResetRestarts) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace fedda::core

@@ -1,0 +1,66 @@
+#include "core/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fedda::core {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeRunsImmediately) {
+  ThreadPool pool(0);
+  int value = 0;
+  pool.Schedule([&] { value = 42; });
+  EXPECT_EQ(value, 42);  // No Wait() needed in inline mode.
+}
+
+TEST(ThreadPoolTest, RunsAllScheduledTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.ParallelFor(50, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForInlineMode) {
+  ThreadPool pool(0);
+  int64_t sum = 0;
+  pool.ParallelFor(10, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPoolTest, WaitIsReentrant) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Schedule([&] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Wait();  // Second wait with empty queue must not hang.
+  pool.Schedule([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 20; ++i) {
+      pool.Schedule([&] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+}  // namespace
+}  // namespace fedda::core

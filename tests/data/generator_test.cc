@@ -1,0 +1,163 @@
+#include "data/generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/schema.h"
+#include "graph/stats.h"
+
+namespace fedda::data {
+namespace {
+
+TEST(SchemaTest, AmazonSpecMatchesPaperSchema) {
+  const SyntheticSpec spec = AmazonSpec(0.1);
+  EXPECT_EQ(spec.node_types.size(), 1u);  // products only (Fig. 4a)
+  EXPECT_EQ(spec.edge_types.size(), 2u);  // co-view, co-purchase
+  EXPECT_EQ(spec.node_types[0].name, "product");
+  EXPECT_EQ(spec.edge_types[0].name, "co-view");
+  EXPECT_EQ(spec.edge_types[1].name, "co-purchase");
+}
+
+TEST(SchemaTest, AmazonPaperScaleMatchesTable1) {
+  const SyntheticSpec spec = AmazonSpec(1.0);
+  EXPECT_EQ(spec.node_types[0].count, 10099);
+  EXPECT_EQ(spec.edge_types[0].count + spec.edge_types[1].count, 148659);
+  EXPECT_EQ(spec.node_types[0].feature_dim, 1156);
+}
+
+TEST(SchemaTest, DblpSpecMatchesPaperSchema) {
+  const SyntheticSpec spec = DblpSpec(0.02);
+  EXPECT_EQ(spec.node_types.size(), 3u);  // author, phrase, year (Fig. 4b)
+  EXPECT_EQ(spec.edge_types.size(), 5u);  // 5 link types (Table 1)
+}
+
+TEST(SchemaTest, DblpPaperScaleMatchesTable1) {
+  const SyntheticSpec spec = DblpSpec(1.0);
+  int64_t nodes = 0, edges = 0;
+  for (const auto& nt : spec.node_types) nodes += nt.count;
+  for (const auto& et : spec.edge_types) edges += et.count;
+  EXPECT_EQ(nodes, 114145);
+  EXPECT_EQ(edges, 7566543);
+}
+
+TEST(SchemaTest, ScaleShrinksCounts) {
+  const SyntheticSpec big = AmazonSpec(0.5);
+  const SyntheticSpec small = AmazonSpec(0.05);
+  EXPECT_GT(big.node_types[0].count, small.node_types[0].count);
+  EXPECT_GT(big.edge_types[0].count, small.edge_types[0].count);
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  graph::HeteroGraph Generate(const SyntheticSpec& spec, uint64_t seed = 42) {
+    core::Rng rng(seed);
+    return GenerateGraph(spec, &rng);
+  }
+};
+
+TEST_F(GeneratorTest, AmazonGraphHasRequestedShape) {
+  const SyntheticSpec spec = AmazonSpec(0.05);
+  graph::HeteroGraph g = Generate(spec);
+  EXPECT_EQ(g.num_nodes(), spec.node_types[0].count);
+  EXPECT_EQ(g.num_node_types(), 1);
+  EXPECT_EQ(g.num_edge_types(), 2);
+  // Rejection can fall slightly short of the target; within 10%.
+  const auto counts = g.EdgeTypeCounts();
+  for (size_t t = 0; t < 2; ++t) {
+    EXPECT_GE(counts[t], spec.edge_types[t].count * 9 / 10);
+    EXPECT_LE(counts[t], spec.edge_types[t].count);
+  }
+}
+
+TEST_F(GeneratorTest, DblpGraphHasFiveEdgeTypesAndThreeNodeTypes) {
+  graph::HeteroGraph g = Generate(DblpSpec(0.01));
+  EXPECT_EQ(g.num_node_types(), 3);
+  EXPECT_EQ(g.num_edge_types(), 5);
+  for (graph::EdgeTypeId t = 0; t < 5; ++t) {
+    EXPECT_GT(g.EdgeTypeCounts()[static_cast<size_t>(t)], 0);
+  }
+}
+
+TEST_F(GeneratorTest, EdgesRespectSchemaEndpoints) {
+  graph::HeteroGraph g = Generate(DblpSpec(0.01));
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& info = g.edge_type_info(g.edge_type(e));
+    EXPECT_EQ(g.node_type(g.edge_src(e)), info.src_type);
+    EXPECT_EQ(g.node_type(g.edge_dst(e)), info.dst_type);
+  }
+}
+
+TEST_F(GeneratorTest, NoDuplicateEdgesOrSelfLoops) {
+  graph::HeteroGraph g = Generate(AmazonSpec(0.03));
+  std::set<std::tuple<int, int, int>> seen;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const int u = std::min(g.edge_src(e), g.edge_dst(e));
+    const int v = std::max(g.edge_src(e), g.edge_dst(e));
+    EXPECT_NE(g.edge_src(e), g.edge_dst(e));
+    EXPECT_TRUE(seen.insert({u, v, g.edge_type(e)}).second)
+        << "duplicate edge " << u << "-" << v;
+  }
+}
+
+TEST_F(GeneratorTest, FeaturesAreSetAndNonTrivial) {
+  graph::HeteroGraph g = Generate(AmazonSpec(0.03));
+  const tensor::Tensor& f = g.features(0);
+  EXPECT_EQ(f.rows(), g.num_nodes_of_type(0));
+  EXPECT_GT(f.AbsMean(), 0.1);
+}
+
+TEST_F(GeneratorTest, DeterministicGivenSeed) {
+  const SyntheticSpec spec = AmazonSpec(0.03);
+  graph::HeteroGraph a = Generate(spec, 7);
+  graph::HeteroGraph b = Generate(spec, 7);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (graph::EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge_src(e), b.edge_src(e));
+    EXPECT_EQ(a.edge_dst(e), b.edge_dst(e));
+  }
+  EXPECT_TRUE(a.features(0).Equals(b.features(0)));
+}
+
+TEST_F(GeneratorTest, DifferentSeedsDiffer) {
+  const SyntheticSpec spec = AmazonSpec(0.03);
+  graph::HeteroGraph a = Generate(spec, 7);
+  graph::HeteroGraph b = Generate(spec, 8);
+  bool any_diff = a.num_edges() != b.num_edges();
+  for (graph::EdgeId e = 0; !any_diff && e < a.num_edges(); ++e) {
+    any_diff = a.edge_src(e) != b.edge_src(e);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(GeneratorTest, DegreeDistributionIsSkewed) {
+  graph::HeteroGraph g = Generate(AmazonSpec(0.05));
+  int64_t max_degree = 0;
+  double total_degree = 0.0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int64_t d = static_cast<int64_t>(g.neighbors(v).size());
+    max_degree = std::max(max_degree, d);
+    total_degree += static_cast<double>(d);
+  }
+  const double mean_degree = total_degree / static_cast<double>(g.num_nodes());
+  // Zipf endpoint skew: hubs far above the mean.
+  EXPECT_GT(static_cast<double>(max_degree), 5.0 * mean_degree);
+}
+
+TEST_F(GeneratorTest, StatsMatchTable1Columns) {
+  graph::HeteroGraph g = Generate(AmazonSpec(0.05));
+  const graph::GraphStats stats = graph::ComputeStats(g);
+  EXPECT_EQ(stats.num_nodes, g.num_nodes());
+  EXPECT_EQ(stats.num_node_types, 1);
+  EXPECT_EQ(stats.num_edge_types, 2);
+  EXPECT_NEAR(stats.density,
+              static_cast<double>(stats.num_edges) /
+                  (static_cast<double>(stats.num_nodes) * stats.num_nodes),
+              1e-12);
+  const std::string rendered = graph::StatsToString(g, stats);
+  EXPECT_NE(rendered.find("co-view"), std::string::npos);
+  EXPECT_NE(rendered.find("product"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedda::data

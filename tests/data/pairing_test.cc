@@ -1,0 +1,146 @@
+// Properties of the generator's per-edge-type community pairings — the
+// mechanism that makes link patterns type-specific (and the paper's
+// Global >> Local gap reproducible, see DESIGN.md).
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/schema.h"
+
+namespace fedda::data {
+namespace {
+
+/// Fraction of type-t edges whose (community(src), community(dst)) pair is
+/// deterministic, measured as the mass concentrated on the modal pair per
+/// source community.
+double PairingConcentration(const graph::HeteroGraph& g,
+                            const std::vector<int>& labels,
+                            graph::EdgeTypeId t, int num_communities) {
+  // counts[src_community][dst_community]
+  std::vector<std::map<int, int64_t>> counts(
+      static_cast<size_t>(num_communities));
+  int64_t total = 0;
+  for (graph::EdgeId e : g.EdgesOfType(t)) {
+    const int cs = labels[static_cast<size_t>(g.edge_src(e))];
+    const int cd = labels[static_cast<size_t>(g.edge_dst(e))];
+    counts[static_cast<size_t>(cs)][cd]++;
+    ++total;
+  }
+  if (total == 0) return 0.0;
+  int64_t modal_mass = 0;
+  for (const auto& row : counts) {
+    int64_t best = 0;
+    for (const auto& [dst, n] : row) best = std::max(best, n);
+    modal_mass += best;
+  }
+  return static_cast<double>(modal_mass) / static_cast<double>(total);
+}
+
+TEST(PairingTest, HomophilousMassConcentratesOnOnePairPerCommunity) {
+  SyntheticSpec spec = AmazonSpec(0.02);
+  spec.num_communities = 6;
+  core::Rng rng(3);
+  std::vector<int> labels;
+  const graph::HeteroGraph g = GenerateGraphWithLabels(spec, &rng, &labels);
+  for (graph::EdgeTypeId t = 0; t < g.num_edge_types(); ++t) {
+    const double concentration =
+        PairingConcentration(g, labels, t, spec.num_communities);
+    // With homophily ~0.8 the modal destination community per source
+    // community should carry most of the mass.
+    EXPECT_GT(concentration, 0.6) << "edge type " << t;
+  }
+}
+
+TEST(PairingTest, DisabledPairingConnectsSameCommunities) {
+  SyntheticSpec spec = AmazonSpec(0.02);
+  spec.num_communities = 6;
+  spec.per_type_community_pairing = false;
+  core::Rng rng(4);
+  std::vector<int> labels;
+  const graph::HeteroGraph g = GenerateGraphWithLabels(spec, &rng, &labels);
+  // Identity pairing: homophilous edges connect equal communities.
+  int64_t same = 0, total = 0;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    same += labels[static_cast<size_t>(g.edge_src(e))] ==
+                    labels[static_cast<size_t>(g.edge_dst(e))]
+                ? 1
+                : 0;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(same) / static_cast<double>(total), 0.6);
+}
+
+TEST(PairingTest, PairingsDifferAcrossEdgeTypes) {
+  // With 5 edge types and random involutions over 10 communities, at least
+  // two types must map some community differently (astronomically likely;
+  // deterministic under the fixed seed).
+  SyntheticSpec spec = DblpSpec(0.006);
+  core::Rng rng(5);
+  std::vector<int> labels;
+  const graph::HeteroGraph g = GenerateGraphWithLabels(spec, &rng, &labels);
+
+  // Recover each type's modal destination community for source community 0
+  // among author-endpoint types sharing source type "author".
+  std::vector<int> modal_dst;
+  for (graph::EdgeTypeId t : {graph::EdgeTypeId{0}, graph::EdgeTypeId{1}}) {
+    std::map<int, int64_t> hist;
+    for (graph::EdgeId e : g.EdgesOfType(t)) {
+      if (labels[static_cast<size_t>(g.edge_src(e))] != 0) continue;
+      hist[labels[static_cast<size_t>(g.edge_dst(e))]]++;
+    }
+    int best_c = -1;
+    int64_t best_n = -1;
+    for (const auto& [c, n] : hist) {
+      if (n > best_n) {
+        best_n = n;
+        best_c = c;
+      }
+    }
+    modal_dst.push_back(best_c);
+  }
+  ASSERT_EQ(modal_dst.size(), 2u);
+  EXPECT_NE(modal_dst[0], modal_dst[1])
+      << "author-author and author-phrase should pair community 0 "
+         "differently under seed 5";
+}
+
+TEST(PairingTest, LabelsAlignWithFeatures) {
+  // Nodes of the same community have closer features than nodes of
+  // different communities (the signal the GNN learns from).
+  SyntheticSpec spec = AmazonSpec(0.02);
+  spec.num_communities = 4;
+  core::Rng rng(6);
+  std::vector<int> labels;
+  const graph::HeteroGraph g = GenerateGraphWithLabels(spec, &rng, &labels);
+  const tensor::Tensor& f = g.features(0);
+
+  auto distance = [&](int64_t a, int64_t b) {
+    double d = 0.0;
+    for (int64_t c = 0; c < f.cols(); ++c) {
+      const double diff = f.at(a, c) - f.at(b, c);
+      d += diff * diff;
+    }
+    return d;
+  };
+  double same_sum = 0.0, diff_sum = 0.0;
+  int64_t same_n = 0, diff_n = 0;
+  for (int64_t i = 0; i < std::min<int64_t>(f.rows(), 60); ++i) {
+    for (int64_t j = i + 1; j < std::min<int64_t>(f.rows(), 60); ++j) {
+      if (labels[static_cast<size_t>(i)] == labels[static_cast<size_t>(j)]) {
+        same_sum += distance(i, j);
+        ++same_n;
+      } else {
+        diff_sum += distance(i, j);
+        ++diff_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(diff_n, 0);
+  EXPECT_LT(same_sum / same_n, diff_sum / diff_n);
+}
+
+}  // namespace
+}  // namespace fedda::data

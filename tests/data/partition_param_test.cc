@@ -1,0 +1,102 @@
+// Parameterized sweeps of the Non-IID partition protocol: for every
+// (num_clients, num_specialties, iid) combination the shards must satisfy
+// the paper's system-synthesis contract.
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/partition.h"
+#include "data/schema.h"
+#include "graph/split.h"
+
+namespace fedda::data {
+namespace {
+
+using ParamTuple = std::tuple<int, int, bool>;  // clients, specialties, iid
+
+class PartitionSweepTest : public ::testing::TestWithParam<ParamTuple> {
+ protected:
+  static void SetUpTestSuite() {
+    core::Rng rng(321);
+    global_ = new graph::HeteroGraph(GenerateGraph(DblpSpec(0.006), &rng));
+    split_ = new graph::EdgeSplit(graph::SplitEdges(*global_, 0.15, &rng));
+  }
+  static void TearDownTestSuite() {
+    delete global_;
+    delete split_;
+    global_ = nullptr;
+    split_ = nullptr;
+  }
+
+  static graph::HeteroGraph* global_;
+  static graph::EdgeSplit* split_;
+};
+
+graph::HeteroGraph* PartitionSweepTest::global_ = nullptr;
+graph::EdgeSplit* PartitionSweepTest::split_ = nullptr;
+
+TEST_P(PartitionSweepTest, ShardsSatisfyProtocolContract) {
+  const auto [clients, specialties, iid] = GetParam();
+  PartitionOptions options;
+  options.num_clients = clients;
+  options.num_specialties = specialties;
+  options.iid = iid;
+  core::Rng rng(static_cast<uint64_t>(clients * 10 + specialties));
+  const auto shards = PartitionClients(*global_, split_->train, options, &rng);
+
+  ASSERT_EQ(shards.size(), static_cast<size_t>(clients));
+  const std::set<graph::EdgeId> train(split_->train.begin(),
+                                      split_->train.end());
+  for (const ClientShard& shard : shards) {
+    // Specialty count as requested (IID clients specialize in everything).
+    if (iid) {
+      EXPECT_EQ(shard.specialties.size(),
+                static_cast<size_t>(global_->num_edge_types()));
+    } else if (specialties > 0) {
+      EXPECT_EQ(shard.specialties.size(),
+                static_cast<size_t>(
+                    std::min(specialties, global_->num_edge_types())));
+    } else {
+      EXPECT_GE(shard.specialties.size(), 1u);
+      EXPECT_LT(shard.specialties.size(),
+                static_cast<size_t>(global_->num_edge_types()));
+    }
+
+    // Sorted, unique, and train-only edge lists.
+    EXPECT_TRUE(std::is_sorted(shard.local_edges.begin(),
+                               shard.local_edges.end()));
+    EXPECT_TRUE(std::adjacent_find(shard.local_edges.begin(),
+                                   shard.local_edges.end()) ==
+                shard.local_edges.end());
+    for (graph::EdgeId e : shard.local_edges) EXPECT_EQ(train.count(e), 1u);
+
+    // Task edges: subset of local edges, restricted to specialties.
+    const std::set<graph::EdgeId> local(shard.local_edges.begin(),
+                                        shard.local_edges.end());
+    const std::set<graph::EdgeTypeId> spec(shard.specialties.begin(),
+                                           shard.specialties.end());
+    for (graph::EdgeId e : shard.task_edges) {
+      EXPECT_EQ(local.count(e), 1u);
+      EXPECT_EQ(spec.count(global_->edge_type(e)), 1u);
+    }
+    EXPECT_FALSE(shard.task_edges.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 8, 16),
+                       ::testing::Values(0, 1, 3),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<ParamTuple>& info) {
+      return "M" + std::to_string(std::get<0>(info.param)) + "_spec" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_iid" : "_biased");
+    });
+
+}  // namespace
+}  // namespace fedda::data

@@ -1,0 +1,157 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/schema.h"
+#include "graph/split.h"
+
+namespace fedda::data {
+namespace {
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::Rng rng(99);
+    global_ = GenerateGraph(DblpSpec(0.01), &rng);
+    split_ = graph::SplitEdges(global_, 0.15, &rng);
+  }
+
+  graph::HeteroGraph global_;
+  graph::EdgeSplit split_;
+};
+
+TEST_F(PartitionTest, ProducesRequestedClientCount) {
+  PartitionOptions options;
+  options.num_clients = 8;
+  core::Rng rng(1);
+  const auto shards = PartitionClients(global_, split_.train, options, &rng);
+  EXPECT_EQ(shards.size(), 8u);
+}
+
+TEST_F(PartitionTest, LocalEdgesComeFromTrainSetOnly) {
+  PartitionOptions options;
+  options.num_clients = 4;
+  core::Rng rng(2);
+  const std::set<graph::EdgeId> train(split_.train.begin(),
+                                      split_.train.end());
+  for (const ClientShard& shard :
+       PartitionClients(global_, split_.train, options, &rng)) {
+    for (graph::EdgeId e : shard.local_edges) {
+      EXPECT_EQ(train.count(e), 1u) << "client holds a non-train edge";
+    }
+  }
+}
+
+TEST_F(PartitionTest, TaskEdgesAreSpecializedSubsetOfLocal) {
+  PartitionOptions options;
+  options.num_clients = 6;
+  core::Rng rng(3);
+  for (const ClientShard& shard :
+       PartitionClients(global_, split_.train, options, &rng)) {
+    const std::set<graph::EdgeId> local(shard.local_edges.begin(),
+                                        shard.local_edges.end());
+    const std::set<graph::EdgeTypeId> specialties(shard.specialties.begin(),
+                                                  shard.specialties.end());
+    EXPECT_FALSE(shard.specialties.empty());
+    for (graph::EdgeId e : shard.task_edges) {
+      EXPECT_EQ(local.count(e), 1u);
+      EXPECT_EQ(specialties.count(global_.edge_type(e)), 1u);
+    }
+  }
+}
+
+TEST_F(PartitionTest, SampleFractionsApproximateRaAndRb) {
+  PartitionOptions options;
+  options.num_clients = 5;
+  options.r_a = 0.30;
+  options.r_b = 0.05;
+  options.num_specialties = 2;
+  core::Rng rng(4);
+
+  // Per-type train pool sizes.
+  std::vector<int64_t> pool(static_cast<size_t>(global_.num_edge_types()), 0);
+  for (graph::EdgeId e : split_.train) {
+    pool[static_cast<size_t>(global_.edge_type(e))]++;
+  }
+
+  for (const ClientShard& shard :
+       PartitionClients(global_, split_.train, options, &rng)) {
+    std::vector<int64_t> held(pool.size(), 0);
+    for (graph::EdgeId e : shard.local_edges) {
+      held[static_cast<size_t>(global_.edge_type(e))]++;
+    }
+    for (graph::EdgeTypeId t = 0;
+         t < static_cast<graph::EdgeTypeId>(pool.size()); ++t) {
+      const bool specialized =
+          std::find(shard.specialties.begin(), shard.specialties.end(), t) !=
+          shard.specialties.end();
+      const double frac = static_cast<double>(held[static_cast<size_t>(t)]) /
+                          static_cast<double>(pool[static_cast<size_t>(t)]);
+      EXPECT_NEAR(frac, specialized ? options.r_a : options.r_b, 0.02);
+    }
+  }
+}
+
+TEST_F(PartitionTest, NonIidShardsHaveDivergentTypeDistributions) {
+  PartitionOptions options;
+  options.num_clients = 8;
+  options.num_specialties = 1;
+  core::Rng rng(5);
+  const auto shards = PartitionClients(global_, split_.train, options, &rng);
+
+  double max_tv = 0.0;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    for (size_t j = i + 1; j < shards.size(); ++j) {
+      const auto pi =
+          global_.SubgraphFromEdges(shards[i].local_edges)
+              .EdgeTypeDistribution();
+      const auto pj =
+          global_.SubgraphFromEdges(shards[j].local_edges)
+              .EdgeTypeDistribution();
+      max_tv = std::max(max_tv, TotalVariation(pi, pj));
+    }
+  }
+  EXPECT_GT(max_tv, 0.2) << "Non-IID shards should diverge";
+}
+
+TEST_F(PartitionTest, IidShardsHaveSimilarTypeDistributions) {
+  PartitionOptions options;
+  options.num_clients = 8;
+  options.iid = true;
+  core::Rng rng(6);
+  const auto shards = PartitionClients(global_, split_.train, options, &rng);
+  const auto global_dist = global_.EdgeTypeDistribution();
+  for (const ClientShard& shard : shards) {
+    // IID clients perform the task on all types.
+    EXPECT_EQ(shard.task_edges.size(), shard.local_edges.size());
+    const auto dist = global_.SubgraphFromEdges(shard.local_edges)
+                          .EdgeTypeDistribution();
+    EXPECT_LT(TotalVariation(dist, global_dist), 0.05);
+  }
+}
+
+TEST_F(PartitionTest, DeterministicGivenSeed) {
+  PartitionOptions options;
+  options.num_clients = 4;
+  core::Rng rng1(7), rng2(7);
+  const auto a = PartitionClients(global_, split_.train, options, &rng1);
+  const auto b = PartitionClients(global_, split_.train, options, &rng2);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].local_edges, b[i].local_edges);
+    EXPECT_EQ(a[i].task_edges, b[i].task_edges);
+    EXPECT_EQ(a[i].specialties, b[i].specialties);
+  }
+}
+
+TEST(TotalVariationTest, BasicProperties) {
+  EXPECT_DOUBLE_EQ(TotalVariation({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(TotalVariation({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(TotalVariation({0.75, 0.25}, {0.25, 0.75}), 0.5);
+}
+
+}  // namespace
+}  // namespace fedda::data

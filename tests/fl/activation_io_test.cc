@@ -1,0 +1,93 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "fl/activation.h"
+
+namespace fedda::fl {
+namespace {
+
+using tensor::ParameterStore;
+using tensor::Tensor;
+
+ParameterStore MakeReference() {
+  ParameterStore store;
+  store.Register("W", Tensor::Zeros(2, 2));
+  store.Register("edge_emb", Tensor::Zeros(2, 2), /*disentangled=*/true);
+  store.Register("rel", Tensor::Zeros(1, 3), /*disentangled=*/true);
+  return store;
+}
+
+class ActivationIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/fedda_activation.state";
+};
+
+TEST_F(ActivationIoTest, SaveLoadRoundTripTensorGranularity) {
+  ParameterStore ref = MakeReference();
+  ActivationOptions options;
+  ActivationState state(3, ref, options);
+  state.UpdateMasks({0, 1, 2}, {{1.0, 9.0}, {2.0, 9.0}, {9.0, 9.0}});
+  state.DeactivateClient(1);
+  ASSERT_TRUE(state.Save(path_).ok());
+
+  ActivationState restored(3, ref, options);
+  ASSERT_TRUE(restored.Load(path_).ok());
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(restored.client_active(c), state.client_active(c));
+    for (int64_t u = 0; u < state.num_units(); ++u) {
+      EXPECT_EQ(restored.UnitActive(c, u), state.UnitActive(c, u));
+    }
+  }
+  EXPECT_EQ(restored.num_active_clients(), 2);
+}
+
+TEST_F(ActivationIoTest, SaveLoadRoundTripScalarGranularity) {
+  ParameterStore ref = MakeReference();
+  ActivationOptions options;
+  options.granularity = ActivationGranularity::kScalar;
+  ActivationState state(2, ref, options);
+  std::vector<std::vector<double>> mags = {
+      {0, 0, 0, 9, 9, 9, 9}, {9, 9, 9, 9, 9, 9, 9}};
+  state.UpdateMasks({0, 1}, mags);
+  ASSERT_TRUE(state.Save(path_).ok());
+
+  ActivationState restored(2, ref, options);
+  ASSERT_TRUE(restored.Load(path_).ok());
+  EXPECT_EQ(restored.ActiveUnits(0), state.ActiveUnits(0));
+  EXPECT_EQ(restored.TransmittedScalars(0), state.TransmittedScalars(0));
+}
+
+TEST_F(ActivationIoTest, LoadRejectsLayoutMismatch) {
+  ParameterStore ref = MakeReference();
+  ActivationOptions options;
+  ActivationState state(3, ref, options);
+  ASSERT_TRUE(state.Save(path_).ok());
+
+  // Wrong client count.
+  ActivationState wrong_clients(4, ref, options);
+  EXPECT_FALSE(wrong_clients.Load(path_).ok());
+
+  // Wrong granularity.
+  ActivationOptions scalar_options;
+  scalar_options.granularity = ActivationGranularity::kScalar;
+  ActivationState wrong_gran(3, ref, scalar_options);
+  EXPECT_FALSE(wrong_gran.Load(path_).ok());
+}
+
+TEST_F(ActivationIoTest, LoadRejectsGarbage) {
+  {
+    std::ofstream out(path_);
+    out << "not an activation state";
+  }
+  ParameterStore ref = MakeReference();
+  ActivationState state(3, ref, ActivationOptions{});
+  EXPECT_FALSE(state.Load(path_).ok());
+  // Failed load leaves the state untouched.
+  EXPECT_EQ(state.num_active_clients(), 3);
+}
+
+}  // namespace
+}  // namespace fedda::fl

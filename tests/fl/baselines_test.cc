@@ -1,0 +1,105 @@
+// Dedicated coverage of the Global / Local baseline runners.
+
+#include <gtest/gtest.h>
+
+#include "fl/experiment.h"
+
+namespace fedda::fl {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SystemConfig config;
+    config.data = data::AmazonSpec(0.012);
+    config.test_fraction = 0.2;
+    config.partition.num_clients = 3;
+    config.partition.num_specialties = 1;
+    config.model.num_layers = 2;
+    config.model.num_heads = 2;
+    config.model.hidden_dim = 8;
+    config.model.edge_emb_dim = 4;
+    config.seed = 111;
+    system_ = new FederatedSystem(FederatedSystem::Build(config));
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+
+  static hgn::TrainOptions Train() {
+    hgn::TrainOptions t;
+    t.local_epochs = 1;
+    t.learning_rate = 5e-3f;
+    return t;
+  }
+  static hgn::EvalOptions Eval() {
+    hgn::EvalOptions e;
+    e.max_edges = 48;
+    e.mrr_negatives = 3;
+    return e;
+  }
+
+  static FederatedSystem* system_;
+};
+
+FederatedSystem* BaselinesTest::system_ = nullptr;
+
+TEST_F(BaselinesTest, GlobalDeterministicGivenSeed) {
+  const BaselineResult a = RunGlobal(*system_, 3, Train(), Eval(), 5);
+  const BaselineResult b = RunGlobal(*system_, 3, Train(), Eval(), 5);
+  EXPECT_DOUBLE_EQ(a.auc, b.auc);
+  EXPECT_DOUBLE_EQ(a.mrr, b.mrr);
+}
+
+TEST_F(BaselinesTest, GlobalHistoryCadence) {
+  // Default: only the final round is evaluated.
+  const BaselineResult last_only =
+      RunGlobal(*system_, 4, Train(), Eval(), 5, /*eval_every_round=*/false);
+  EXPECT_EQ(last_only.history.size(), 1u);
+  EXPECT_EQ(last_only.history[0].round, 3);
+  const BaselineResult every =
+      RunGlobal(*system_, 4, Train(), Eval(), 5, /*eval_every_round=*/true);
+  ASSERT_EQ(every.history.size(), 4u);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(every.history[static_cast<size_t>(t)].round, t);
+  }
+}
+
+TEST_F(BaselinesTest, GlobalImprovesWithMoreRounds) {
+  const BaselineResult short_run = RunGlobal(*system_, 1, Train(), Eval(), 7);
+  const BaselineResult long_run = RunGlobal(*system_, 12, Train(), Eval(), 7);
+  EXPECT_GT(long_run.auc, short_run.auc - 0.02);
+  EXPECT_GT(long_run.auc, 0.55);
+}
+
+TEST_F(BaselinesTest, LocalDeterministicAndBounded) {
+  const BaselineResult a = RunLocal(*system_, 3, Train(), Eval(), 9);
+  const BaselineResult b = RunLocal(*system_, 3, Train(), Eval(), 9);
+  EXPECT_DOUBLE_EQ(a.auc, b.auc);
+  EXPECT_GT(a.auc, 0.0);
+  EXPECT_LE(a.auc, 1.0);
+  EXPECT_GT(a.mrr, 0.0);
+  EXPECT_LE(a.mrr, 1.0);
+}
+
+TEST_F(BaselinesTest, LocalClientsNeverCommunicate) {
+  // After a Local run, each client's weights must differ from the others'
+  // (no aggregation happened) while starting from the same initialization.
+  tensor::ParameterStore store = system_->MakeInitialStore(3);
+  auto clients = system_->MakeClients(store);
+  core::Rng rng(13);
+  for (auto& client : *&clients) {
+    core::Rng crng = rng.Split();
+    for (int round = 0; round < 2; ++round) {
+      client->TrainLocalOnly(Train(), &crng);
+    }
+  }
+  EXPECT_NE(clients[0]->params().FlattenValues(),
+            clients[1]->params().FlattenValues());
+  EXPECT_NE(clients[1]->params().FlattenValues(),
+            clients[2]->params().FlattenValues());
+}
+
+}  // namespace
+}  // namespace fedda::fl

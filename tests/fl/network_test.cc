@@ -1,0 +1,99 @@
+#include "fl/network.h"
+
+#include <gtest/gtest.h>
+
+namespace fedda::fl {
+namespace {
+
+FlRunResult MakeRun() {
+  FlRunResult result;
+  // Round 0: 4 participants, 4000 scalars total uplink (1000 each).
+  RoundRecord r0;
+  r0.round = 0;
+  r0.participants = 4;
+  r0.uplink_scalars = 4000;
+  r0.auc = 0.6;
+  result.history.push_back(r0);
+  // Round 1: everyone failed.
+  RoundRecord r1;
+  r1.round = 1;
+  r1.participants = 0;
+  r1.uplink_scalars = 0;
+  r1.auc = 0.6;
+  result.history.push_back(r1);
+  // Round 2: 2 participants, 1000 scalars total (500 each; FedDA masking).
+  RoundRecord r2;
+  r2.round = 2;
+  r2.participants = 2;
+  r2.uplink_scalars = 1000;
+  r2.auc = 0.75;
+  result.history.push_back(r2);
+  return result;
+}
+
+NetworkModel SimpleModel() {
+  NetworkModel model;
+  model.bytes_per_scalar = 4.0;
+  model.uplink_bytes_per_sec = 4000.0;    // 1000 scalars/sec
+  model.downlink_bytes_per_sec = 8000.0;  // 2000 scalars/sec
+  model.round_latency_sec = 1.0;
+  model.compute_sec_per_epoch = 2.0;
+  return model;
+}
+
+TEST(NetworkTest, PerRoundTimingMatchesHandComputation) {
+  const FlRunResult run = MakeRun();
+  const auto timing = SimulateTiming(run, SimpleModel(), /*model_scalars=*/
+                                     2000, /*local_epochs=*/1);
+  ASSERT_EQ(timing.size(), 3u);
+  // Round 0: 1 (latency) + 2000/2000 (down) + 2 (compute) + 1000/1000 (up).
+  EXPECT_DOUBLE_EQ(timing[0].round_sec, 1.0 + 1.0 + 2.0 + 1.0);
+  // Round 1: all failed -> latency only.
+  EXPECT_DOUBLE_EQ(timing[1].round_sec, 1.0);
+  // Round 2: 1 + 1 + 2 + 500/1000.
+  EXPECT_DOUBLE_EQ(timing[2].round_sec, 4.5);
+  EXPECT_DOUBLE_EQ(timing[2].cumulative_sec, 5.0 + 1.0 + 4.5);
+}
+
+TEST(NetworkTest, FewerTransmittedScalarsMeansFasterRounds) {
+  FlRunResult fedavg = MakeRun();
+  FlRunResult fedda = MakeRun();
+  fedda.history[0].uplink_scalars = 2000;  // half the uplink
+  const NetworkModel model = SimpleModel();
+  const auto t_avg = SimulateTiming(fedavg, model, 2000, 1);
+  const auto t_da = SimulateTiming(fedda, model, 2000, 1);
+  EXPECT_LT(t_da[0].round_sec, t_avg[0].round_sec);
+}
+
+TEST(NetworkTest, TimeToAccuracyFindsFirstCrossing) {
+  const FlRunResult run = MakeRun();
+  const auto timing = SimulateTiming(run, SimpleModel(), 2000, 1);
+  EXPECT_DOUBLE_EQ(TimeToAccuracy(run, timing, 0.6),
+                   timing[0].cumulative_sec);
+  EXPECT_DOUBLE_EQ(TimeToAccuracy(run, timing, 0.7),
+                   timing[2].cumulative_sec);
+  EXPECT_DOUBLE_EQ(TimeToAccuracy(run, timing, 0.9), -1.0);
+}
+
+TEST(NetworkTest, MoreEpochsCostMoreCompute) {
+  const FlRunResult run = MakeRun();
+  const NetworkModel model = SimpleModel();
+  const auto one = SimulateTiming(run, model, 2000, 1);
+  const auto five = SimulateTiming(run, model, 2000, 5);
+  EXPECT_DOUBLE_EQ(five[0].round_sec - one[0].round_sec, 4 * 2.0);
+}
+
+TEST(NetworkDeathTest, InvalidInputsAbort) {
+  const FlRunResult run = MakeRun();
+  NetworkModel model = SimpleModel();
+  EXPECT_DEATH(SimulateTiming(run, model, 0, 1), "");
+  model.uplink_bytes_per_sec = 0.0;
+  EXPECT_DEATH(SimulateTiming(run, model, 100, 1), "");
+  const auto timing = SimulateTiming(run, SimpleModel(), 2000, 1);
+  FlRunResult short_run = run;
+  short_run.history.pop_back();
+  EXPECT_DEATH(TimeToAccuracy(short_run, timing, 0.5), "");
+}
+
+}  // namespace
+}  // namespace fedda::fl

@@ -1,0 +1,60 @@
+// The worker_threads option must not change results: client RNG streams are
+// split before any update starts, and clients write only their own stores.
+
+#include <gtest/gtest.h>
+
+#include "fl/experiment.h"
+
+namespace fedda::fl {
+namespace {
+
+SystemConfig SmallConfig() {
+  SystemConfig config;
+  config.data = data::AmazonSpec(0.012);
+  config.test_fraction = 0.2;
+  config.partition.num_clients = 4;
+  config.partition.num_specialties = 1;
+  config.model.num_layers = 2;
+  config.model.num_heads = 2;
+  config.model.hidden_dim = 8;
+  config.model.edge_emb_dim = 4;
+  config.seed = 121;
+  return config;
+}
+
+FlOptions Options(FlAlgorithm algorithm, int workers) {
+  FlOptions options;
+  options.algorithm = algorithm;
+  options.rounds = 4;
+  options.local.local_epochs = 1;
+  options.eval.max_edges = 48;
+  options.eval.mrr_negatives = 3;
+  options.worker_threads = workers;
+  return options;
+}
+
+class ParallelClientsTest
+    : public ::testing::TestWithParam<FlAlgorithm> {};
+
+TEST_P(ParallelClientsTest, PooledRunsBitIdenticalToSequential) {
+  const FederatedSystem system = FederatedSystem::Build(SmallConfig());
+  const FlRunResult sequential =
+      RunFederated(system, Options(GetParam(), 0), 7);
+  const FlRunResult pooled = RunFederated(system, Options(GetParam(), 3), 7);
+  ASSERT_EQ(sequential.history.size(), pooled.history.size());
+  for (size_t t = 0; t < sequential.history.size(); ++t) {
+    EXPECT_DOUBLE_EQ(sequential.history[t].auc, pooled.history[t].auc);
+    EXPECT_DOUBLE_EQ(sequential.history[t].mean_local_loss,
+                     pooled.history[t].mean_local_loss);
+    EXPECT_EQ(sequential.history[t].uplink_scalars,
+              pooled.history[t].uplink_scalars);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ParallelClientsTest,
+                         ::testing::Values(FlAlgorithm::kFedAvg,
+                                           FlAlgorithm::kFedDaRestart,
+                                           FlAlgorithm::kFedDaExplore));
+
+}  // namespace
+}  // namespace fedda::fl

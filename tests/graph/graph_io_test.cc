@@ -1,0 +1,161 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/schema.h"
+
+namespace fedda::graph {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::remove(bin_path_.c_str());
+    std::remove(nodes_path_.c_str());
+    std::remove(edges_path_.c_str());
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+
+  std::string bin_path_ = ::testing::TempDir() + "/fedda_graph.bin";
+  std::string nodes_path_ = ::testing::TempDir() + "/fedda_nodes.tsv";
+  std::string edges_path_ = ::testing::TempDir() + "/fedda_edges.tsv";
+};
+
+TEST_F(GraphIoTest, BinaryRoundTripPreservesEverything) {
+  core::Rng rng(5);
+  const HeteroGraph original =
+      data::GenerateGraph(data::DblpSpec(0.004), &rng);
+  ASSERT_TRUE(SaveGraph(original, bin_path_).ok());
+
+  HeteroGraph loaded;
+  ASSERT_TRUE(LoadGraph(bin_path_, &loaded).ok());
+  ASSERT_EQ(loaded.num_nodes(), original.num_nodes());
+  ASSERT_EQ(loaded.num_edges(), original.num_edges());
+  ASSERT_EQ(loaded.num_node_types(), original.num_node_types());
+  ASSERT_EQ(loaded.num_edge_types(), original.num_edge_types());
+  for (NodeTypeId t = 0; t < original.num_node_types(); ++t) {
+    EXPECT_EQ(loaded.node_type_info(t).name,
+              original.node_type_info(t).name);
+    EXPECT_TRUE(loaded.features(t).Equals(original.features(t)));
+  }
+  for (EdgeTypeId t = 0; t < original.num_edge_types(); ++t) {
+    EXPECT_EQ(loaded.edge_type_info(t).name,
+              original.edge_type_info(t).name);
+    EXPECT_EQ(loaded.edge_type_info(t).src_type,
+              original.edge_type_info(t).src_type);
+  }
+  for (NodeId v = 0; v < original.num_nodes(); ++v) {
+    ASSERT_EQ(loaded.node_type(v), original.node_type(v));
+  }
+  for (EdgeId e = 0; e < original.num_edges(); ++e) {
+    ASSERT_EQ(loaded.edge_src(e), original.edge_src(e));
+    ASSERT_EQ(loaded.edge_dst(e), original.edge_dst(e));
+    ASSERT_EQ(loaded.edge_type(e), original.edge_type(e));
+  }
+}
+
+TEST_F(GraphIoTest, BinaryRejectsGarbage) {
+  WriteFile(bin_path_, "garbage data, not a graph");
+  HeteroGraph graph;
+  EXPECT_FALSE(LoadGraph(bin_path_, &graph).ok());
+}
+
+TEST_F(GraphIoTest, TsvImportBuildsTypedGraph) {
+  WriteFile(nodes_path_,
+            "# node file: type<TAB>features...\n"
+            "author\t0.1\t0.2\n"
+            "author\t0.3\t0.4\n"
+            "paper\t1.0\n"
+            "paper\t2.0\n"
+            "\n"
+            "author\t0.5\t0.6\n");
+  WriteFile(edges_path_,
+            "# edge file: type<TAB>src<TAB>dst\n"
+            "writes\t0\t2\n"
+            "writes\t1\t3\n"
+            "cites\t2\t3\n");
+  HeteroGraph graph;
+  ASSERT_TRUE(LoadGraphFromTsv(nodes_path_, edges_path_, &graph).ok());
+  EXPECT_EQ(graph.num_nodes(), 5);
+  EXPECT_EQ(graph.num_node_types(), 2);
+  EXPECT_EQ(graph.num_edges(), 3);
+  EXPECT_EQ(graph.num_edge_types(), 2);
+  // Global node ids follow file order: 0,1 author; 2,3 paper; 4 author.
+  EXPECT_EQ(graph.node_type(4), graph.node_type(0));
+  EXPECT_EQ(graph.type_local_index(4), 2);
+  // Author features: dim 2, third author row = (0.5, 0.6).
+  EXPECT_FLOAT_EQ(graph.features(graph.node_type(0)).at(2, 0), 0.5f);
+  EXPECT_EQ(graph.node_type_info(graph.node_type(2)).feature_dim, 1);
+  EXPECT_EQ(graph.edge_type_info(graph.edge_type(0)).name, "writes");
+}
+
+TEST_F(GraphIoTest, TsvRejectsInconsistentFeatureCounts) {
+  WriteFile(nodes_path_, "a\t1.0\t2.0\na\t3.0\n");
+  WriteFile(edges_path_, "");
+  HeteroGraph graph;
+  const core::Status status =
+      LoadGraphFromTsv(nodes_path_, edges_path_, &graph);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("feature count"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, TsvRejectsBadEdgeRecords) {
+  WriteFile(nodes_path_, "a\t1.0\na\t2.0\n");
+  {
+    WriteFile(edges_path_, "link\t0\n");
+    HeteroGraph graph;
+    EXPECT_FALSE(LoadGraphFromTsv(nodes_path_, edges_path_, &graph).ok());
+  }
+  {
+    WriteFile(edges_path_, "link\t0\t7\n");
+    HeteroGraph graph;
+    EXPECT_EQ(LoadGraphFromTsv(nodes_path_, edges_path_, &graph).code(),
+              core::StatusCode::kOutOfRange);
+  }
+  {
+    WriteFile(edges_path_, "link\t0\tx\n");
+    HeteroGraph graph;
+    EXPECT_FALSE(LoadGraphFromTsv(nodes_path_, edges_path_, &graph).ok());
+  }
+}
+
+TEST_F(GraphIoTest, TsvRejectsEndpointTypeDrift) {
+  WriteFile(nodes_path_, "a\t1.0\na\t2.0\nb\t3.0\n");
+  // First "link" is a-a, second tries a-b under the same type name.
+  WriteFile(edges_path_, "link\t0\t1\nlink\t0\t2\n");
+  HeteroGraph graph;
+  const core::Status status =
+      LoadGraphFromTsv(nodes_path_, edges_path_, &graph);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("endpoint"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, TsvMissingFilesFail) {
+  HeteroGraph graph;
+  EXPECT_FALSE(
+      LoadGraphFromTsv("/nonexistent_x/n.tsv", "/nonexistent_x/e.tsv", &graph)
+          .ok());
+}
+
+TEST_F(GraphIoTest, SavedGraphUsableAfterLoad) {
+  core::Rng rng(6);
+  const HeteroGraph original =
+      data::GenerateGraph(data::AmazonSpec(0.01), &rng);
+  ASSERT_TRUE(SaveGraph(original, bin_path_).ok());
+  HeteroGraph loaded;
+  ASSERT_TRUE(LoadGraph(bin_path_, &loaded).ok());
+  // Adjacency was rebuilt: neighbor queries work.
+  EXPECT_EQ(loaded.neighbors(0).size(), original.neighbors(0).size());
+  EXPECT_EQ(loaded.EdgeTypeDistribution(), original.EdgeTypeDistribution());
+}
+
+}  // namespace
+}  // namespace fedda::graph

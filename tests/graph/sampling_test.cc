@@ -1,0 +1,100 @@
+#include "graph/sampling.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fedda::graph {
+namespace {
+
+HeteroGraph MakeTwoTypeGraph() {
+  HeteroGraphBuilder b;
+  const NodeTypeId user = b.AddNodeType("user", 1);
+  const NodeTypeId item = b.AddNodeType("item", 1);
+  const EdgeTypeId buys = b.AddEdgeType("buys", user, item);
+  b.AddNodes(user, 4);   // ids 0-3
+  b.AddNodes(item, 6);   // ids 4-9
+  b.AddEdge(0, 4, buys);
+  b.AddEdge(0, 5, buys);
+  b.AddEdge(1, 4, buys);
+  return b.Build();
+}
+
+TEST(NegativeSamplerTest, CorruptedDstHasRightTypeAndIsNonEdge) {
+  HeteroGraph g = MakeTwoTypeGraph();
+  NegativeSampler sampler(&g);
+  core::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId neg = sampler.CorruptDst(0, 4, 0, &rng);
+    EXPECT_EQ(g.node_type(neg), 1);  // item
+    EXPECT_NE(neg, 4);
+    // 0 is linked to 4 and 5; negatives must avoid both.
+    EXPECT_FALSE(g.HasEdge(0, neg, 0));
+  }
+}
+
+TEST(NegativeSamplerTest, SampleNegativesCount) {
+  HeteroGraph g = MakeTwoTypeGraph();
+  NegativeSampler sampler(&g);
+  core::Rng rng(7);
+  const auto negs = sampler.SampleNegatives(1, 4, 0, 10, &rng);
+  EXPECT_EQ(negs.size(), 10u);
+  for (NodeId n : negs) EXPECT_EQ(g.node_type(n), 1);
+}
+
+TEST(NegativeSamplerTest, DenseGraphFallsBackAfterMaxTries) {
+  // User 0 is connected to every item except one; sampler must still return
+  // an item (best effort) without hanging.
+  HeteroGraphBuilder b;
+  const NodeTypeId user = b.AddNodeType("user", 1);
+  const NodeTypeId item = b.AddNodeType("item", 1);
+  const EdgeTypeId buys = b.AddEdgeType("buys", user, item);
+  b.AddNode(user);
+  b.AddNodes(item, 3);  // ids 1-3
+  b.AddEdge(0, 1, buys);
+  b.AddEdge(0, 2, buys);
+  b.AddEdge(0, 3, buys);
+  HeteroGraph g = b.Build();
+  NegativeSampler sampler(&g, /*max_tries=*/4);
+  core::Rng rng(9);
+  const NodeId neg = sampler.CorruptDst(0, 1, 0, &rng);
+  EXPECT_EQ(g.node_type(neg), 1);
+}
+
+TEST(MakeBatchesTest, PartitionsAllEdges) {
+  core::Rng rng(11);
+  std::vector<EdgeId> edges = {0, 1, 2, 3, 4, 5, 6};
+  const auto batches = MakeBatches(edges, 3, &rng);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 3u);
+  EXPECT_EQ(batches[1].size(), 3u);
+  EXPECT_EQ(batches[2].size(), 1u);
+  std::multiset<EdgeId> seen;
+  for (const auto& batch : batches) seen.insert(batch.begin(), batch.end());
+  EXPECT_EQ(seen, std::multiset<EdgeId>(edges.begin(), edges.end()));
+}
+
+TEST(MakeBatchesTest, FullBatchWhenSizeZero) {
+  core::Rng rng(13);
+  const auto batches = MakeBatches({5, 6, 7}, 0, &rng);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 3u);
+}
+
+TEST(MakeBatchesTest, EmptyInputYieldsNoBatches) {
+  core::Rng rng(13);
+  EXPECT_TRUE(MakeBatches({}, 4, &rng).empty());
+}
+
+TEST(MakeBatchesTest, ShufflesBetweenCalls) {
+  core::Rng rng(17);
+  std::vector<EdgeId> edges(50);
+  for (size_t i = 0; i < edges.size(); ++i) edges[i] = static_cast<EdgeId>(i);
+  const auto b1 = MakeBatches(edges, 0, &rng);
+  const auto b2 = MakeBatches(edges, 0, &rng);
+  EXPECT_NE(b1[0], b2[0]);
+}
+
+}  // namespace
+}  // namespace fedda::graph

@@ -1,0 +1,82 @@
+#include "graph/split.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fedda::graph {
+namespace {
+
+HeteroGraph MakeGraphWithTypeCounts(int64_t type0_edges, int64_t type1_edges) {
+  HeteroGraphBuilder b;
+  const NodeTypeId t = b.AddNodeType("n", 1);
+  const EdgeTypeId e0 = b.AddEdgeType("e0", t, t);
+  const EdgeTypeId e1 = b.AddEdgeType("e1", t, t);
+  const int64_t n = type0_edges + type1_edges + 1;
+  b.AddNodes(t, n);
+  for (int64_t i = 0; i < type0_edges; ++i) {
+    b.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), e0);
+  }
+  for (int64_t i = 0; i < type1_edges; ++i) {
+    b.AddEdge(static_cast<NodeId>(i + 1), static_cast<NodeId>(i), e1);
+  }
+  return b.Build();
+}
+
+TEST(SplitEdgesTest, PartitionIsExactAndDisjoint) {
+  HeteroGraph g = MakeGraphWithTypeCounts(80, 20);
+  core::Rng rng(3);
+  const EdgeSplit split = SplitEdges(g, 0.25, &rng);
+  EXPECT_EQ(split.train.size() + split.test.size(),
+            static_cast<size_t>(g.num_edges()));
+  std::set<EdgeId> train(split.train.begin(), split.train.end());
+  for (EdgeId e : split.test) EXPECT_EQ(train.count(e), 0u);
+}
+
+TEST(SplitEdgesTest, StratifiedKeepsPerTypeFractions) {
+  HeteroGraph g = MakeGraphWithTypeCounts(80, 20);
+  core::Rng rng(3);
+  const EdgeSplit split = SplitEdges(g, 0.25, &rng, /*stratified=*/true);
+  int64_t test_type0 = 0, test_type1 = 0;
+  for (EdgeId e : split.test) {
+    g.edge_type(e) == 0 ? ++test_type0 : ++test_type1;
+  }
+  EXPECT_EQ(test_type0, 20);
+  EXPECT_EQ(test_type1, 5);
+}
+
+TEST(SplitEdgesTest, ZeroTestFraction) {
+  HeteroGraph g = MakeGraphWithTypeCounts(10, 10);
+  core::Rng rng(5);
+  const EdgeSplit split = SplitEdges(g, 0.0, &rng);
+  EXPECT_TRUE(split.test.empty());
+  EXPECT_EQ(split.train.size(), 20u);
+}
+
+TEST(SplitEdgesTest, ResultsAreSorted) {
+  HeteroGraph g = MakeGraphWithTypeCounts(30, 30);
+  core::Rng rng(7);
+  const EdgeSplit split = SplitEdges(g, 0.3, &rng);
+  EXPECT_TRUE(std::is_sorted(split.train.begin(), split.train.end()));
+  EXPECT_TRUE(std::is_sorted(split.test.begin(), split.test.end()));
+}
+
+TEST(SplitEdgesTest, DeterministicGivenSeed) {
+  HeteroGraph g = MakeGraphWithTypeCounts(40, 40);
+  core::Rng rng1(11), rng2(11);
+  const EdgeSplit a = SplitEdges(g, 0.2, &rng1);
+  const EdgeSplit b = SplitEdges(g, 0.2, &rng2);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+}
+
+TEST(SplitEdgesTest, UnstratifiedStillPartitions) {
+  HeteroGraph g = MakeGraphWithTypeCounts(50, 10);
+  core::Rng rng(13);
+  const EdgeSplit split = SplitEdges(g, 0.5, &rng, /*stratified=*/false);
+  EXPECT_EQ(split.test.size(), 30u);
+  EXPECT_EQ(split.train.size(), 30u);
+}
+
+}  // namespace
+}  // namespace fedda::graph

@@ -1,0 +1,75 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace fedda::graph {
+namespace {
+
+TEST(GraphStatsTest, EmptyGraph) {
+  HeteroGraphBuilder b;
+  b.AddNodeType("lonely", 4);
+  HeteroGraph g = b.Build();
+  const GraphStats stats = ComputeStats(g);
+  EXPECT_EQ(stats.num_nodes, 0);
+  EXPECT_EQ(stats.num_edges, 0);
+  EXPECT_EQ(stats.density, 0.0);
+  EXPECT_EQ(stats.nodes_per_type, (std::vector<int64_t>{0}));
+}
+
+TEST(GraphStatsTest, CountsPerType) {
+  HeteroGraphBuilder b;
+  const NodeTypeId a = b.AddNodeType("a", 1);
+  const NodeTypeId c = b.AddNodeType("c", 1);
+  const EdgeTypeId t0 = b.AddEdgeType("aa", a, a);
+  const EdgeTypeId t1 = b.AddEdgeType("ac", a, c);
+  b.AddNodes(a, 3);
+  b.AddNodes(c, 2);
+  b.AddEdge(0, 1, t0);
+  b.AddEdge(0, 3, t1);
+  b.AddEdge(1, 4, t1);
+  HeteroGraph g = b.Build();
+  const GraphStats stats = ComputeStats(g);
+  EXPECT_EQ(stats.num_nodes, 5);
+  EXPECT_EQ(stats.num_node_types, 2);
+  EXPECT_EQ(stats.num_edges, 3);
+  EXPECT_EQ(stats.num_edge_types, 2);
+  EXPECT_EQ(stats.nodes_per_type, (std::vector<int64_t>{3, 2}));
+  EXPECT_EQ(stats.edges_per_type, (std::vector<int64_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(stats.density, 3.0 / 25.0);
+}
+
+TEST(GraphStatsTest, RenderingContainsEveryTypeName) {
+  HeteroGraphBuilder b;
+  const NodeTypeId user = b.AddNodeType("user", 2);
+  const NodeTypeId item = b.AddNodeType("item", 3);
+  const EdgeTypeId buys = b.AddEdgeType("buys", user, item);
+  b.AddNodes(user, 2);
+  b.AddNodes(item, 2);
+  b.AddEdge(0, 2, buys);
+  HeteroGraph g = b.Build();
+  const std::string out = StatsToString(g, ComputeStats(g));
+  EXPECT_NE(out.find("user"), std::string::npos);
+  EXPECT_NE(out.find("item"), std::string::npos);
+  EXPECT_NE(out.find("buys"), std::string::npos);
+  EXPECT_NE(out.find("feature dim 3"), std::string::npos);
+  EXPECT_NE(out.find("user -- item"), std::string::npos);
+}
+
+TEST(GraphStatsTest, StatsOfSubgraphReflectEdgeSubset) {
+  HeteroGraphBuilder b;
+  const NodeTypeId t = b.AddNodeType("n", 1);
+  const EdgeTypeId e0 = b.AddEdgeType("e0", t, t);
+  const EdgeTypeId e1 = b.AddEdgeType("e1", t, t);
+  b.AddNodes(t, 4);
+  b.AddEdge(0, 1, e0);
+  b.AddEdge(1, 2, e0);
+  b.AddEdge(2, 3, e1);
+  HeteroGraph g = b.Build();
+  const GraphStats sub_stats = ComputeStats(g.SubgraphFromEdges({2}));
+  EXPECT_EQ(sub_stats.num_edges, 1);
+  EXPECT_EQ(sub_stats.edges_per_type, (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(sub_stats.num_nodes, 4);  // nodes are shared, not induced
+}
+
+}  // namespace
+}  // namespace fedda::graph

@@ -1,0 +1,216 @@
+#include "hgn/ego_sampling.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/schema.h"
+#include "hgn/link_prediction.h"
+
+namespace fedda::hgn {
+namespace {
+
+struct EgoFixture {
+  graph::HeteroGraph graph;
+  std::unique_ptr<SimpleHgn> model;
+  tensor::ParameterStore store;
+
+  explicit EgoFixture(uint64_t seed = 41) {
+    core::Rng rng(seed);
+    graph = data::GenerateGraph(data::DblpSpec(0.004), &rng);
+    SimpleHgnConfig config;
+    config.num_layers = 2;
+    config.num_heads = 2;
+    config.hidden_dim = 8;
+    config.edge_emb_dim = 4;
+    std::vector<int64_t> dims;
+    std::vector<std::string> ntypes, etypes;
+    for (graph::NodeTypeId t = 0; t < graph.num_node_types(); ++t) {
+      dims.push_back(graph.node_type_info(t).feature_dim);
+      ntypes.push_back(graph.node_type_info(t).name);
+    }
+    for (graph::EdgeTypeId t = 0; t < graph.num_edge_types(); ++t) {
+      etypes.push_back(graph.edge_type_info(t).name);
+    }
+    model = std::make_unique<SimpleHgn>(dims, ntypes, etypes, config);
+    core::Rng init(seed + 1);
+    model->InitParameters(&store, &init);
+  }
+};
+
+TEST(EgoSamplingTest, TargetsAreIncludedFirst) {
+  EgoFixture f;
+  core::Rng rng(1);
+  const std::vector<graph::NodeId> targets = {0, 5, 9};
+  const EgoSubgraph sub =
+      SampleEgoSubgraph(f.graph, *f.model, targets, 2, 5, &rng);
+  ASSERT_EQ(sub.target_locals.size(), 3u);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(sub.nodes[static_cast<size_t>(sub.target_locals[i])],
+              targets[i]);
+  }
+}
+
+TEST(EgoSamplingTest, ZeroHopsIncludesOnlyTargets) {
+  EgoFixture f;
+  core::Rng rng(2);
+  const EgoSubgraph sub =
+      SampleEgoSubgraph(f.graph, *f.model, {3, 7}, 0, 5, &rng);
+  EXPECT_EQ(sub.nodes.size(), 2u);
+  // Only self loops in the MP lists (no internal edges between 3 and 7
+  // unless they happen to be linked).
+  EXPECT_GE(sub.mp.src->size(), 2u);
+}
+
+TEST(EgoSamplingTest, FanoutBoundsGrowth) {
+  EgoFixture f;
+  core::Rng rng(3);
+  const std::vector<graph::NodeId> targets = {0};
+  const EgoSubgraph narrow =
+      SampleEgoSubgraph(f.graph, *f.model, targets, 2, 2, &rng);
+  const EgoSubgraph wide =
+      SampleEgoSubgraph(f.graph, *f.model, targets, 2, 0, &rng);
+  EXPECT_LE(narrow.nodes.size(), wide.nodes.size());
+  // Hop-1 cap: at most 1 (target) + 2 + 2*2 nodes with fanout 2.
+  EXPECT_LE(narrow.nodes.size(), 7u);
+}
+
+TEST(EgoSamplingTest, MessagePassingListsAreInternalAndValid) {
+  EgoFixture f;
+  core::Rng rng(4);
+  const EgoSubgraph sub =
+      SampleEgoSubgraph(f.graph, *f.model, {1, 2, 3, 4}, 2, 4, &rng);
+  const int32_t n = static_cast<int32_t>(sub.nodes.size());
+  ASSERT_EQ(sub.mp.src->size(), sub.mp.dst->size());
+  ASSERT_EQ(sub.mp.src->size(), sub.mp.etype->size());
+  for (size_t i = 0; i < sub.mp.src->size(); ++i) {
+    EXPECT_GE((*sub.mp.src)[i], 0);
+    EXPECT_LT((*sub.mp.src)[i], n);
+    EXPECT_GE((*sub.mp.dst)[i], 0);
+    EXPECT_LT((*sub.mp.dst)[i], n);
+    EXPECT_LE((*sub.mp.etype)[i], f.model->num_edge_types());
+  }
+  // Self loops present for every node (config default).
+  int64_t self_loops = 0;
+  for (size_t i = 0; i < sub.mp.src->size(); ++i) {
+    if ((*sub.mp.etype)[i] == f.model->num_edge_types()) {
+      EXPECT_EQ((*sub.mp.src)[i], (*sub.mp.dst)[i]);
+      ++self_loops;
+    }
+  }
+  EXPECT_EQ(self_loops, n);
+}
+
+TEST(EgoSamplingTest, GatheredFeaturesMatchGlobalRows) {
+  EgoFixture f;
+  core::Rng rng(5);
+  const EgoSubgraph sub =
+      SampleEgoSubgraph(f.graph, *f.model, {0, 10, 20}, 1, 3, &rng);
+  const std::vector<tensor::Tensor> blocks = GatherEgoFeatures(f.graph, sub);
+  ASSERT_EQ(blocks.size(), static_cast<size_t>(f.graph.num_node_types()));
+  // Every node's permuted row must equal its global feature row.
+  int64_t total_rows = 0;
+  for (const auto& b : blocks) total_rows += b.rows();
+  EXPECT_EQ(total_rows, static_cast<int64_t>(sub.nodes.size()));
+  for (size_t v = 0; v < sub.nodes.size(); ++v) {
+    const graph::NodeId node = sub.nodes[v];
+    const graph::NodeTypeId t = f.graph.node_type(node);
+    // Recover block-local row from the permutation.
+    int64_t offset = 0;
+    for (graph::NodeTypeId tt = 0; tt < t; ++tt) {
+      offset += blocks[static_cast<size_t>(tt)].rows();
+    }
+    const int64_t row = (*sub.mp.node_perm)[v] - offset;
+    const tensor::Tensor& global_features = f.graph.features(t);
+    for (int64_t c = 0; c < global_features.cols(); ++c) {
+      ASSERT_EQ(blocks[static_cast<size_t>(t)].at(row, c),
+                global_features.at(f.graph.type_local_index(node), c));
+    }
+  }
+}
+
+TEST(EgoSamplingTest, FullFanoutEgoEncodingMatchesFullGraphEncoding) {
+  // With unlimited fanout and hops >= num_layers, a target's ego encoding
+  // equals its full-graph encoding: message passing only ever reads k-hop
+  // neighborhoods.
+  EgoFixture f;
+  core::Rng rng(6);
+  const std::vector<graph::NodeId> targets = {2, 11};
+  const EgoSubgraph sub = SampleEgoSubgraph(f.graph, *f.model, targets,
+                                            /*hops=*/2, /*fanout=*/0, &rng);
+  const std::vector<tensor::Tensor> blocks = GatherEgoFeatures(f.graph, sub);
+  std::vector<const tensor::Tensor*> ptrs;
+  for (const auto& b : blocks) ptrs.push_back(&b);
+
+  tensor::Graph ego_tape(false);
+  const tensor::Tensor& ego_emb = ego_tape.value(
+      f.model->EncodeBlocks(&ego_tape, ptrs, sub.mp, &f.store));
+
+  const MpStructure full_mp = f.model->BuildStructure(f.graph);
+  tensor::Graph full_tape(false);
+  const tensor::Tensor& full_emb = full_tape.value(
+      f.model->Encode(&full_tape, f.graph, full_mp, &f.store));
+
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const int32_t local = sub.target_locals[i];
+    for (int64_t c = 0; c < full_emb.cols(); ++c) {
+      ASSERT_NEAR(ego_emb.at(local, c), full_emb.at(targets[i], c), 2e-4)
+          << "target " << targets[i] << " dim " << c;
+    }
+  }
+}
+
+TEST(EgoSamplingTest, EgoModeTrainingLearns) {
+  // Mini-batch training through sampled ego graphs reduces the loss just
+  // like full-graph training.
+  EgoFixture f;
+  std::vector<graph::EdgeId> train_edges;
+  for (graph::EdgeId e = 0; e < f.graph.num_edges(); e += 2) {
+    train_edges.push_back(e);
+  }
+  LinkPredictionTask task(f.model.get(), &f.graph, train_edges);
+  TrainOptions options;
+  options.batch_size = 64;
+  options.learning_rate = 5e-3f;
+  options.ego_hops = 2;
+  options.ego_fanout = 8;
+  core::Rng rng(8);
+  tensor::Adam adam(options.learning_rate);
+  const double first = task.TrainRound(&f.store, options, &rng, &adam);
+  double last = first;
+  for (int round = 0; round < 5; ++round) {
+    last = task.TrainRound(&f.store, options, &rng, &adam);
+  }
+  EXPECT_TRUE(std::isfinite(last));
+  EXPECT_LT(last, first);
+}
+
+TEST(EgoSamplingTest, EgoModeUpdatesWeights) {
+  EgoFixture f;
+  LinkPredictionTask task(f.model.get(), &f.graph, {0, 1, 2, 3, 4, 5, 6, 7});
+  TrainOptions options;
+  options.batch_size = 4;
+  options.ego_hops = 1;
+  options.ego_fanout = 4;
+  const std::vector<float> before = f.store.FlattenValues();
+  core::Rng rng(9);
+  const double loss = task.TrainRound(&f.store, options, &rng);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_NE(before, f.store.FlattenValues());
+}
+
+TEST(EgoSamplingTest, DeterministicGivenSeed) {
+  EgoFixture f;
+  core::Rng r1(7), r2(7);
+  const EgoSubgraph a =
+      SampleEgoSubgraph(f.graph, *f.model, {0, 1}, 2, 3, &r1);
+  const EgoSubgraph b =
+      SampleEgoSubgraph(f.graph, *f.model, {0, 1}, 2, 3, &r2);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(*a.mp.src, *b.mp.src);
+}
+
+}  // namespace
+}  // namespace fedda::hgn

@@ -1,0 +1,139 @@
+// Focused tests of the link-prediction evaluator's extended outputs:
+// Hits@k wiring and the per-edge-type AUC breakdown.
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/schema.h"
+#include "graph/split.h"
+#include "hgn/link_prediction.h"
+
+namespace fedda::hgn {
+namespace {
+
+struct EvalFixture {
+  graph::HeteroGraph graph;
+  graph::EdgeSplit split;
+  std::unique_ptr<SimpleHgn> model;
+  tensor::ParameterStore store;
+  std::unique_ptr<LinkPredictionTask> task;
+
+  EvalFixture() {
+    core::Rng rng(33);
+    graph = data::GenerateGraph(data::AmazonSpec(0.015), &rng);
+    split = graph::SplitEdges(graph, 0.2, &rng);
+    SimpleHgnConfig config;
+    config.num_layers = 2;
+    config.num_heads = 2;
+    config.hidden_dim = 16;
+    config.edge_emb_dim = 4;
+    model = std::make_unique<SimpleHgn>(
+        std::vector<int64_t>{graph.node_type_info(0).feature_dim},
+        std::vector<std::string>{"product"},
+        std::vector<std::string>{"co-view", "co-purchase"}, config);
+    core::Rng init(34);
+    model->InitParameters(&store, &init);
+    task = std::make_unique<LinkPredictionTask>(model.get(), &graph,
+                                                split.train);
+  }
+
+  EvalResult Evaluate(int mrr_negatives = 10) {
+    EvalOptions options;
+    options.mrr_negatives = mrr_negatives;
+    core::Rng rng(35);
+    return EvaluateLinkPrediction(*model, graph, task->mp(), split.test,
+                                  &store, options, &rng);
+  }
+};
+
+TEST(EvaluatorTest, HitsAtHalfIsPopulatedAndBounded) {
+  EvalFixture f;
+  const EvalResult r = f.Evaluate();
+  EXPECT_GE(r.hits_at_half, 0.0);
+  EXPECT_LE(r.hits_at_half, 1.0);
+}
+
+TEST(EvaluatorTest, HitsImprovesWithTraining) {
+  EvalFixture f;
+  const EvalResult before = f.Evaluate();
+  TrainOptions train;
+  train.learning_rate = 5e-3f;
+  core::Rng rng(36);
+  tensor::Adam adam(train.learning_rate);
+  for (int round = 0; round < 10; ++round) {
+    f.task->TrainRound(&f.store, train, &rng, &adam);
+  }
+  const EvalResult after = f.Evaluate();
+  EXPECT_GT(after.hits_at_half, before.hits_at_half - 0.05);
+  EXPECT_GT(after.hits_at_half, 0.5);
+}
+
+TEST(EvaluatorTest, HitsTracksMrrOrdering) {
+  // Hits@k and MRR are both rank-based: a clearly better model should not
+  // invert them. Train two models with different budgets and compare.
+  EvalFixture weak, strong;
+  TrainOptions train;
+  train.learning_rate = 5e-3f;
+  core::Rng rng(37);
+  tensor::Adam adam(train.learning_rate);
+  for (int round = 0; round < 12; ++round) {
+    strong.task->TrainRound(&strong.store, train, &rng, &adam);
+  }
+  const EvalResult w = weak.Evaluate();
+  const EvalResult s = strong.Evaluate();
+  EXPECT_GT(s.mrr, w.mrr);
+  EXPECT_GE(s.hits_at_half, w.hits_at_half - 0.02);
+}
+
+TEST(EvaluatorTest, PerTypeAucCoversEveryTypeInTestSet) {
+  EvalFixture f;
+  const EvalResult r = f.Evaluate();
+  ASSERT_EQ(r.per_type_auc.size(), 2u);
+  // The stratified split guarantees both Amazon types in the test set.
+  for (double auc : r.per_type_auc) {
+    EXPECT_GE(auc, 0.0);
+    EXPECT_LE(auc, 1.0);
+  }
+}
+
+TEST(EvaluatorTest, PerTypeAucMarksMissingTypes) {
+  EvalFixture f;
+  // Evaluate only co-view test edges: co-purchase bucket must be -1.
+  std::vector<graph::EdgeId> co_view_only;
+  for (graph::EdgeId e : f.split.test) {
+    if (f.graph.edge_type(e) == 0) co_view_only.push_back(e);
+  }
+  ASSERT_FALSE(co_view_only.empty());
+  EvalOptions options;
+  options.mrr_negatives = 3;
+  core::Rng rng(38);
+  const EvalResult r = EvaluateLinkPrediction(
+      *f.model, f.graph, f.task->mp(), co_view_only, &f.store, options, &rng);
+  EXPECT_GE(r.per_type_auc[0], 0.0);
+  EXPECT_EQ(r.per_type_auc[1], -1.0);
+}
+
+TEST(EvaluatorTest, OverallAucWithinPerTypeEnvelope) {
+  EvalFixture f;
+  TrainOptions train;
+  train.learning_rate = 5e-3f;
+  core::Rng rng(39);
+  tensor::Adam adam(train.learning_rate);
+  for (int round = 0; round < 8; ++round) {
+    f.task->TrainRound(&f.store, train, &rng, &adam);
+  }
+  const EvalResult r = f.Evaluate();
+  double lo = 1.0, hi = 0.0;
+  for (double auc : r.per_type_auc) {
+    if (auc < 0) continue;
+    lo = std::min(lo, auc);
+    hi = std::max(hi, auc);
+  }
+  // The pooled AUC mixes per-type pairs, so it should not stray far outside
+  // the per-type envelope (cross-type score-scale differences allow slack).
+  EXPECT_GE(r.auc, lo - 0.15);
+  EXPECT_LE(r.auc, hi + 0.15);
+}
+
+}  // namespace
+}  // namespace fedda::hgn

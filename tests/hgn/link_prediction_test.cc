@@ -1,0 +1,161 @@
+#include "hgn/link_prediction.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/schema.h"
+#include "graph/split.h"
+
+namespace fedda::hgn {
+namespace {
+
+struct Fixture {
+  graph::HeteroGraph graph;
+  graph::EdgeSplit split;
+  std::unique_ptr<SimpleHgn> model;
+  tensor::ParameterStore store;
+
+  explicit Fixture(uint64_t seed = 21, double scale = 0.015) {
+    core::Rng rng(seed);
+    graph = data::GenerateGraph(data::AmazonSpec(scale), &rng);
+    split = graph::SplitEdges(graph, 0.2, &rng);
+
+    SimpleHgnConfig config;
+    config.num_layers = 2;
+    config.num_heads = 2;
+    config.hidden_dim = 8;
+    config.edge_emb_dim = 4;
+    std::vector<int64_t> dims = {graph.node_type_info(0).feature_dim};
+    model = std::make_unique<SimpleHgn>(
+        dims, std::vector<std::string>{"product"},
+        std::vector<std::string>{"co-view", "co-purchase"}, config);
+    core::Rng init(seed + 1);
+    model->InitParameters(&store, &init);
+  }
+};
+
+TEST(LinkPredictionTaskTest, TrainRoundReturnsFiniteLossAndUpdatesWeights) {
+  Fixture f;
+  LinkPredictionTask task(f.model.get(), &f.graph, f.split.train);
+  const std::vector<float> before = f.store.FlattenValues();
+  TrainOptions options;
+  options.local_epochs = 1;
+  options.learning_rate = 1e-3f;
+  core::Rng rng(3);
+  const double loss = task.TrainRound(&f.store, options, &rng);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_LT(loss, 10.0);
+  EXPECT_NE(before, f.store.FlattenValues());
+}
+
+TEST(LinkPredictionTaskTest, LossDecreasesOverRounds) {
+  Fixture f;
+  LinkPredictionTask task(f.model.get(), &f.graph, f.split.train);
+  TrainOptions options;
+  options.local_epochs = 1;
+  options.learning_rate = 5e-3f;
+  core::Rng rng(4);
+  // Persistent optimizer across rounds for a clean descent signal.
+  tensor::Adam adam(options.learning_rate);
+  const double first = task.TrainRound(&f.store, options, &rng, &adam);
+  double last = first;
+  for (int round = 0; round < 8; ++round) {
+    last = task.TrainRound(&f.store, options, &rng, &adam);
+  }
+  EXPECT_LT(last, first * 0.9) << "training should reduce the loss";
+}
+
+TEST(LinkPredictionTaskTest, TrainingImprovesAucAboveChance) {
+  Fixture f;
+  LinkPredictionTask task(f.model.get(), &f.graph, f.split.train);
+  TrainOptions options;
+  options.local_epochs = 2;
+  options.learning_rate = 5e-3f;
+  EvalOptions eval_options;
+  eval_options.mrr_negatives = 5;
+
+  core::Rng eval_rng(5);
+  const EvalResult before = EvaluateLinkPrediction(
+      *f.model, f.graph, task.mp(), f.split.test, &f.store, eval_options,
+      &eval_rng);
+
+  core::Rng rng(6);
+  tensor::Adam adam(options.learning_rate);
+  for (int round = 0; round < 10; ++round) {
+    task.TrainRound(&f.store, options, &rng, &adam);
+  }
+  core::Rng eval_rng2(5);
+  const EvalResult after = EvaluateLinkPrediction(
+      *f.model, f.graph, task.mp(), f.split.test, &f.store, eval_options,
+      &eval_rng2);
+
+  EXPECT_GT(after.auc, 0.6) << "trained model should beat chance";
+  EXPECT_GT(after.auc, before.auc - 0.02);
+  EXPECT_GT(after.mrr, 0.3);
+}
+
+TEST(LinkPredictionTaskTest, EmptyTargetsAreNoOp) {
+  Fixture f;
+  LinkPredictionTask task(f.model.get(), &f.graph, {});
+  const std::vector<float> before = f.store.FlattenValues();
+  TrainOptions options;
+  core::Rng rng(7);
+  EXPECT_EQ(task.TrainRound(&f.store, options, &rng), 0.0);
+  EXPECT_EQ(before, f.store.FlattenValues());
+}
+
+TEST(LinkPredictionTaskTest, MiniBatchingCoversData) {
+  Fixture f;
+  LinkPredictionTask task(f.model.get(), &f.graph, f.split.train);
+  TrainOptions options;
+  options.batch_size = 64;
+  options.local_epochs = 1;
+  core::Rng rng(8);
+  const double loss = task.TrainRound(&f.store, options, &rng);
+  EXPECT_GT(loss, 0.0);
+}
+
+TEST(EvaluateLinkPredictionTest, EmptyTestSetReturnsDefaults) {
+  Fixture f;
+  LinkPredictionTask task(f.model.get(), &f.graph, f.split.train);
+  core::Rng rng(9);
+  const EvalResult r = EvaluateLinkPrediction(
+      *f.model, f.graph, task.mp(), {}, &f.store, EvalOptions{}, &rng);
+  EXPECT_EQ(r.auc, 0.5);
+  EXPECT_EQ(r.mrr, 0.0);
+}
+
+TEST(EvaluateLinkPredictionTest, MaxEdgesCapsEvaluation) {
+  Fixture f;
+  LinkPredictionTask task(f.model.get(), &f.graph, f.split.train);
+  EvalOptions options;
+  options.max_edges = 10;
+  core::Rng rng(10);
+  // Sanity: runs fast and returns valid metrics on the capped subset.
+  const EvalResult r = EvaluateLinkPrediction(
+      *f.model, f.graph, task.mp(), f.split.test, &f.store, options, &rng);
+  EXPECT_GE(r.auc, 0.0);
+  EXPECT_LE(r.auc, 1.0);
+  EXPECT_GE(r.mrr, 0.0);
+  EXPECT_LE(r.mrr, 1.0);
+}
+
+TEST(EvaluateLinkPredictionTest, DoesNotModifyParameters) {
+  Fixture f;
+  LinkPredictionTask task(f.model.get(), &f.graph, f.split.train);
+  const std::vector<float> before = f.store.FlattenValues();
+  core::Rng rng(11);
+  EvaluateLinkPrediction(*f.model, f.graph, task.mp(), f.split.test, &f.store,
+                         EvalOptions{}, &rng);
+  EXPECT_EQ(before, f.store.FlattenValues());
+}
+
+TEST(LinkPredictionTaskDeathTest, TargetOutsideGraphAborts) {
+  Fixture f;
+  EXPECT_DEATH(LinkPredictionTask(f.model.get(), &f.graph,
+                                  {f.graph.num_edges()}),
+               "outside");
+}
+
+}  // namespace
+}  // namespace fedda::hgn

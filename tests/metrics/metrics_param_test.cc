@@ -1,0 +1,109 @@
+// Parameterized property sweeps over the evaluation metrics on randomized
+// inputs of varying size and class balance.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "metrics/metrics.h"
+
+namespace fedda::metrics {
+namespace {
+
+using ParamTuple = std::tuple<int, double>;  // sample count, positive rate
+
+class AucPropertyTest : public ::testing::TestWithParam<ParamTuple> {
+ protected:
+  void MakeData(std::vector<double>* scores, std::vector<int>* labels) {
+    const auto [n, pos_rate] = GetParam();
+    core::Rng rng(static_cast<uint64_t>(n * 7 + int(pos_rate * 100)));
+    // Ensure both classes exist.
+    scores->push_back(rng.Uniform());
+    labels->push_back(1);
+    scores->push_back(rng.Uniform());
+    labels->push_back(0);
+    for (int i = 2; i < n; ++i) {
+      scores->push_back(rng.Uniform(-3.0, 3.0));
+      labels->push_back(rng.Bernoulli(pos_rate) ? 1 : 0);
+    }
+  }
+};
+
+TEST_P(AucPropertyTest, BoundedAndComplementAntisymmetric) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  MakeData(&scores, &labels);
+
+  const double auc = RocAuc(scores, labels);
+  EXPECT_GE(auc, 0.0);
+  EXPECT_LE(auc, 1.0);
+
+  // Negating all scores flips the ranking: AUC' = 1 - AUC (continuous
+  // scores so ties are measure-zero except the ones we created).
+  std::vector<double> negated;
+  for (double s : scores) negated.push_back(-s);
+  EXPECT_NEAR(RocAuc(negated, labels), 1.0 - auc, 1e-9);
+
+  // Swapping labels likewise complements the AUC.
+  std::vector<int> flipped;
+  for (int label : labels) flipped.push_back(1 - label);
+  EXPECT_NEAR(RocAuc(scores, flipped), 1.0 - auc, 1e-9);
+}
+
+TEST_P(AucPropertyTest, MonotoneTransformInvariant) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  MakeData(&scores, &labels);
+  std::vector<double> transformed;
+  for (double s : scores) transformed.push_back(std::exp(0.5 * s) * 3 + 1);
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), RocAuc(transformed, labels));
+}
+
+TEST_P(AucPropertyTest, BoostingAllPositivesReachesOne) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  MakeData(&scores, &labels);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] == 1) scores[i] += 100.0;
+  }
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBalances, AucPropertyTest,
+    ::testing::Combine(::testing::Values(2, 10, 100, 1000),
+                       ::testing::Values(0.1, 0.5, 0.9)),
+    [](const ::testing::TestParamInfo<ParamTuple>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+class MrrPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MrrPropertyTest, BoundsAndMonotonicity) {
+  const int num_negatives = GetParam();
+  core::Rng rng(static_cast<uint64_t>(num_negatives));
+  std::vector<double> negatives;
+  for (int i = 0; i < num_negatives; ++i) {
+    negatives.push_back(rng.Uniform(-1.0, 1.0));
+  }
+  const double low = ReciprocalRank(-2.0, negatives);   // below everything
+  const double high = ReciprocalRank(2.0, negatives);   // above everything
+  EXPECT_DOUBLE_EQ(high, 1.0);
+  EXPECT_DOUBLE_EQ(low, 1.0 / (1.0 + num_negatives));
+  // Raising the positive's score never lowers the reciprocal rank.
+  double previous = 0.0;
+  for (double s = -2.0; s <= 2.0; s += 0.25) {
+    const double rr = ReciprocalRank(s, negatives);
+    EXPECT_GE(rr, previous);
+    previous = rr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NegativeCounts, MrrPropertyTest,
+                         ::testing::Values(1, 3, 10, 50));
+
+}  // namespace
+}  // namespace fedda::metrics

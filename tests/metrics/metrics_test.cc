@@ -1,0 +1,124 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace fedda::metrics {
+namespace {
+
+TEST(RocAucTest, PerfectSeparationIsOne) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.8, 0.1, 0.2}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(RocAucTest, PerfectInversionIsZero) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2, 0.9, 0.8}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(RocAucTest, AllTiedScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(RocAucTest, KnownMixedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8 beats both) + (0.4 beats 0.2, loses 0.6) = 3/4.
+  EXPECT_DOUBLE_EQ(RocAuc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(RocAucTest, TiesBetweenClassesCountHalf) {
+  // pos 0.5 ties neg 0.5 -> AUC 0.5 for that pair; other pair is won.
+  EXPECT_DOUBLE_EQ(RocAuc({0.5, 0.9, 0.5, 0.1}, {1, 1, 0, 0}), 0.875);
+}
+
+TEST(RocAucTest, RandomScoresNearHalf) {
+  core::Rng rng(1);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 5000; ++i) {
+    scores.push_back(rng.Uniform());
+    labels.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  EXPECT_NEAR(RocAuc(scores, labels), 0.5, 0.03);
+}
+
+TEST(RocAucTest, InvariantToMonotoneTransform) {
+  const std::vector<double> s = {0.1, 2.0, -1.0, 0.7, 0.4};
+  const std::vector<int> y = {0, 1, 0, 1, 0};
+  std::vector<double> s2;
+  for (double v : s) s2.push_back(3.0 * v + 10.0);
+  EXPECT_DOUBLE_EQ(RocAuc(s, y), RocAuc(s2, y));
+}
+
+TEST(RocAucDeathTest, RequiresBothClasses) {
+  EXPECT_DEATH(RocAuc({0.5, 0.6}, {1, 1}), "negative");
+  EXPECT_DEATH(RocAuc({0.5, 0.6}, {0, 0}), "positive");
+}
+
+TEST(ReciprocalRankTest, TopRankIsOne) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank(0.9, {0.1, 0.2, 0.3}), 1.0);
+}
+
+TEST(ReciprocalRankTest, CountsHigherScoringNegatives) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank(0.5, {0.9, 0.8, 0.1}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(0.5, {0.9, 0.8, 0.7}), 0.25);
+}
+
+TEST(ReciprocalRankTest, TiesCountHalf) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank(0.5, {0.5}), 1.0 / 1.5);
+}
+
+TEST(ReciprocalRankTest, NoNegativesIsOne) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank(0.5, {}), 1.0);
+}
+
+TEST(MeanReciprocalRankTest, AveragesAndHandlesEmpty) {
+  EXPECT_DOUBLE_EQ(MeanReciprocalRank({1.0, 0.5}), 0.75);
+  EXPECT_DOUBLE_EQ(MeanReciprocalRank({}), 0.0);
+}
+
+TEST(HitsAtKTest, RankBoundaries) {
+  const std::vector<double> negatives = {0.9, 0.7, 0.5};
+  EXPECT_TRUE(HitsAtK(1.0, negatives, 1));   // rank 1
+  EXPECT_FALSE(HitsAtK(0.8, negatives, 1));  // rank 2
+  EXPECT_TRUE(HitsAtK(0.8, negatives, 2));
+  EXPECT_FALSE(HitsAtK(0.1, negatives, 3));  // rank 4
+  EXPECT_TRUE(HitsAtK(0.1, negatives, 4));
+}
+
+TEST(HitsAtKTest, TiesCountAgainstThePositive) {
+  EXPECT_FALSE(HitsAtK(0.5, {0.5}, 1));
+  EXPECT_TRUE(HitsAtK(0.5, {0.5}, 2));
+}
+
+TEST(HitsAtKTest, EmptyNegativesAlwaysHit) {
+  EXPECT_TRUE(HitsAtK(-5.0, {}, 1));
+}
+
+TEST(MeanHitsAtKTest, AveragesAcrossQueries) {
+  const std::vector<double> positives = {1.0, 0.1};
+  const std::vector<std::vector<double>> negatives = {{0.5}, {0.5}};
+  EXPECT_DOUBLE_EQ(MeanHitsAtK(positives, negatives, 1), 0.5);
+  EXPECT_DOUBLE_EQ(MeanHitsAtK({}, {}, 1), 0.0);
+}
+
+TEST(AccuracyTest, ThresholdClassification) {
+  EXPECT_DOUBLE_EQ(
+      AccuracyAtThreshold({0.9, 0.1, 0.6, 0.4}, {1, 0, 0, 1}, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(AccuracyAtThreshold({0.9, 0.1}, {1, 0}, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(AccuracyAtThreshold({}, {}, 0.5), 0.0);
+}
+
+TEST(MeanStdTest, KnownValues) {
+  const MeanStd ms = ComputeMeanStd({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ms.std, 2.0);
+}
+
+TEST(MeanStdTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(ComputeMeanStd({}).mean, 0.0);
+  EXPECT_DOUBLE_EQ(ComputeMeanStd({3.0}).std, 0.0);
+  EXPECT_DOUBLE_EQ(ComputeMeanStd({3.0}).mean, 3.0);
+}
+
+}  // namespace
+}  // namespace fedda::metrics

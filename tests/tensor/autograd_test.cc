@@ -1,0 +1,124 @@
+#include "tensor/autograd.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace fedda::tensor {
+namespace {
+
+TEST(AutogradTest, ConstantHasNoGrad) {
+  Graph g(true);
+  Var c = g.Constant(Tensor::Ones(2, 2));
+  EXPECT_FALSE(g.requires_grad(c));
+  EXPECT_TRUE(g.grad(c).empty());
+}
+
+TEST(AutogradTest, LeafAccumulatesIntoSink) {
+  Tensor x = Tensor::FromVector(1, 2, {3.0f, 4.0f});
+  Tensor grad_sink(1, 2);
+  Graph g(true);
+  Var leaf = g.Leaf(x, &grad_sink);
+  Var loss = Sum(&g, leaf);
+  g.Backward(loss);
+  EXPECT_EQ(grad_sink.at(0, 0), 1.0f);
+  EXPECT_EQ(grad_sink.at(0, 1), 1.0f);
+}
+
+TEST(AutogradTest, SinkAccumulatesAcrossTapes) {
+  Tensor x = Tensor::FromVector(1, 1, {2.0f});
+  Tensor grad_sink(1, 1);
+  for (int i = 0; i < 3; ++i) {
+    Graph g(true);
+    Var leaf = g.Leaf(x, &grad_sink);
+    g.Backward(Sum(&g, leaf));
+  }
+  EXPECT_EQ(grad_sink.at(0, 0), 3.0f);  // += across three backward passes
+}
+
+TEST(AutogradTest, ReusedLeafGetsSummedGradient) {
+  // loss = sum(x * x) -> dL/dx = 2x, exercising grad accumulation when one
+  // node feeds an op twice.
+  Tensor x = Tensor::FromVector(1, 2, {3.0f, -5.0f});
+  Tensor grad_sink(1, 2);
+  Graph g(true);
+  Var leaf = g.Leaf(x, &grad_sink);
+  g.Backward(Sum(&g, Mul(&g, leaf, leaf)));
+  EXPECT_FLOAT_EQ(grad_sink.at(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(grad_sink.at(0, 1), -10.0f);
+}
+
+TEST(AutogradTest, DiamondGraphSumsPaths) {
+  // loss = sum(x + x): two paths to the same leaf.
+  Tensor x = Tensor::FromVector(1, 1, {1.0f});
+  Tensor grad_sink(1, 1);
+  Graph g(true);
+  Var leaf = g.Leaf(x, &grad_sink);
+  g.Backward(Sum(&g, Add(&g, leaf, leaf)));
+  EXPECT_EQ(grad_sink.at(0, 0), 2.0f);
+}
+
+TEST(AutogradTest, InferenceGraphStoresNoBackward) {
+  Graph g(false);
+  EXPECT_FALSE(g.training());
+  Tensor x = Tensor::Ones(1, 1);
+  // Leaf degenerates to constant in inference mode; no grad sink needed.
+  Var v = g.Leaf(x, nullptr);
+  EXPECT_FALSE(g.requires_grad(v));
+  Var y = Scale(&g, v, 2.0f);
+  EXPECT_EQ(g.value(y).at(0, 0), 2.0f);
+}
+
+TEST(AutogradTest, GradSkippedForConstantBranch) {
+  Tensor x = Tensor::Ones(1, 1);
+  Tensor grad_sink(1, 1);
+  Graph g(true);
+  Var leaf = g.Leaf(x, &grad_sink);
+  Var c = g.Constant(Tensor::Full(1, 1, 5.0f));
+  Var loss = Sum(&g, Mul(&g, leaf, c));
+  g.Backward(loss);
+  EXPECT_EQ(grad_sink.at(0, 0), 5.0f);
+  EXPECT_TRUE(g.grad(c).empty());
+}
+
+TEST(AutogradDeathTest, BackwardTwiceAborts) {
+  Tensor x = Tensor::Ones(1, 1);
+  Tensor grad_sink(1, 1);
+  Graph g(true);
+  Var loss = Sum(&g, g.Leaf(x, &grad_sink));
+  g.Backward(loss);
+  EXPECT_DEATH(g.Backward(loss), "twice");
+}
+
+TEST(AutogradDeathTest, BackwardOnNonScalarAborts) {
+  Tensor x = Tensor::Ones(2, 1);
+  Tensor grad_sink(2, 1);
+  Graph g(true);
+  Var leaf = g.Leaf(x, &grad_sink);
+  EXPECT_DEATH(g.Backward(leaf), "");
+}
+
+TEST(AutogradDeathTest, BackwardOnInferenceGraphAborts) {
+  Graph g(false);
+  Var c = g.Constant(Tensor::Ones(1, 1));
+  EXPECT_DEATH(g.Backward(c), "inference");
+}
+
+TEST(AutogradDeathTest, LeafShapeMismatchAborts) {
+  Graph g(true);
+  Tensor x = Tensor::Ones(2, 2);
+  Tensor wrong_sink(1, 2);
+  EXPECT_DEATH(g.Leaf(x, &wrong_sink), "shape");
+}
+
+TEST(AutogradTest, NodeCountGrowsWithOps) {
+  Graph g(true);
+  Var a = g.Constant(Tensor::Ones(1, 1));
+  const size_t base = g.num_nodes();
+  Var b = Scale(&g, a, 2.0f);
+  Add(&g, a, b);
+  EXPECT_EQ(g.num_nodes(), base + 2);
+}
+
+}  // namespace
+}  // namespace fedda::tensor

@@ -1,0 +1,107 @@
+#include "tensor/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace fedda::tensor {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  ParameterStore MakeStore(uint64_t seed) {
+    core::Rng rng(seed);
+    ParameterStore store;
+    store.Register("enc/W", Tensor::RandomNormal(4, 8, &rng));
+    store.Register("enc/edge_emb", Tensor::RandomNormal(3, 2, &rng),
+                   /*disentangled=*/true);
+    store.Register("dec/rel/co-view", Tensor::RandomNormal(1, 8, &rng),
+                   /*disentangled=*/true, /*edge_type=*/0);
+    return store;
+  }
+
+  std::string path_ = ::testing::TempDir() + "/fedda_checkpoint_test.ckpt";
+};
+
+TEST_F(CheckpointTest, SaveLoadRoundTrip) {
+  const ParameterStore original = MakeStore(1);
+  ASSERT_TRUE(SaveCheckpoint(original, path_).ok());
+
+  ParameterStore loaded;
+  ASSERT_TRUE(LoadCheckpoint(path_, &loaded).ok());
+  ASSERT_TRUE(loaded.SameStructure(original));
+  for (int id = 0; id < original.num_groups(); ++id) {
+    EXPECT_TRUE(loaded.value(id).Equals(original.value(id)));
+    EXPECT_EQ(loaded.info(id).disentangled, original.info(id).disentangled);
+    EXPECT_EQ(loaded.info(id).edge_type, original.info(id).edge_type);
+  }
+}
+
+TEST_F(CheckpointTest, LoadRequiresEmptyStore) {
+  const ParameterStore original = MakeStore(1);
+  ASSERT_TRUE(SaveCheckpoint(original, path_).ok());
+  ParameterStore not_empty = MakeStore(2);
+  EXPECT_EQ(LoadCheckpoint(path_, &not_empty).code(),
+            core::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CheckpointTest, RestoreValuesIntoMatchingStore) {
+  const ParameterStore original = MakeStore(1);
+  ASSERT_TRUE(SaveCheckpoint(original, path_).ok());
+  ParameterStore target = MakeStore(99);  // same structure, other values
+  ASSERT_FALSE(target.value(0).Equals(original.value(0)));
+  ASSERT_TRUE(RestoreCheckpointValues(path_, &target).ok());
+  for (int id = 0; id < original.num_groups(); ++id) {
+    EXPECT_TRUE(target.value(id).Equals(original.value(id)));
+  }
+}
+
+TEST_F(CheckpointTest, RestoreRejectsStructureMismatch) {
+  const ParameterStore original = MakeStore(1);
+  ASSERT_TRUE(SaveCheckpoint(original, path_).ok());
+  ParameterStore different;
+  different.Register("other", Tensor::Zeros(2, 2));
+  EXPECT_EQ(RestoreCheckpointValues(path_, &different).code(),
+            core::StatusCode::kInvalidArgument);
+}
+
+TEST_F(CheckpointTest, RejectsNonCheckpointFile) {
+  {
+    std::ofstream out(path_);
+    out << "this is not a checkpoint";
+  }
+  ParameterStore store;
+  const core::Status status = LoadCheckpoint(path_, &store);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(store.num_groups(), 0);
+}
+
+TEST_F(CheckpointTest, RejectsTruncatedFile) {
+  const ParameterStore original = MakeStore(1);
+  ASSERT_TRUE(SaveCheckpoint(original, path_).ok());
+  // Truncate the file to half its size.
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+
+  ParameterStore store;
+  EXPECT_FALSE(LoadCheckpoint(path_, &store).ok());
+}
+
+TEST_F(CheckpointTest, MissingFileFailsCleanly) {
+  ParameterStore store;
+  EXPECT_EQ(LoadCheckpoint("/nonexistent_xyz/a.ckpt", &store).code(),
+            core::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace fedda::tensor

@@ -1,0 +1,70 @@
+#ifndef FEDDA_TESTS_TENSOR_GRAD_CHECK_H_
+#define FEDDA_TESTS_TENSOR_GRAD_CHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace fedda::tensor::testing {
+
+/// Builds a scalar loss from leaf inputs. The callback receives the graph
+/// and one Var per input tensor and must return a (1 x 1) Var.
+using LossBuilder =
+    std::function<Var(Graph*, const std::vector<Var>&)>;
+
+/// Central-difference gradient check of `build` at `inputs`.
+///
+/// For every input scalar x: compares the analytic dL/dx (from Backward)
+/// against (L(x+eps) - L(x-eps)) / (2 eps). Tolerance is mixed
+/// absolute/relative, sized for float32 arithmetic.
+inline void CheckGradients(const std::vector<Tensor>& inputs,
+                           const LossBuilder& build, float eps = 1e-2f,
+                           float tolerance = 2e-2f) {
+  // Analytic gradients.
+  std::vector<Tensor> grads;
+  for (const Tensor& t : inputs) grads.push_back(Tensor(t.rows(), t.cols()));
+  {
+    Graph g(/*training=*/true);
+    std::vector<Var> vars;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      vars.push_back(g.Leaf(inputs[i], &grads[i]));
+    }
+    Var loss = build(&g, vars);
+    ASSERT_EQ(g.value(loss).rows(), 1);
+    ASSERT_EQ(g.value(loss).cols(), 1);
+    g.Backward(loss);
+  }
+
+  // Numeric gradients via double-sided perturbation.
+  auto eval = [&](const std::vector<Tensor>& points) {
+    Graph g(/*training=*/false);
+    std::vector<Var> vars;
+    for (const Tensor& t : points) vars.push_back(g.Constant(t));
+    Var loss = build(&g, vars);
+    return g.value(loss).at(0, 0);
+  };
+
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    for (int64_t k = 0; k < inputs[i].size(); ++k) {
+      std::vector<Tensor> plus = inputs;
+      std::vector<Tensor> minus = inputs;
+      plus[i].data()[k] += eps;
+      minus[i].data()[k] -= eps;
+      const float numeric = (eval(plus) - eval(minus)) / (2.0f * eps);
+      const float analytic = grads[i].data()[k];
+      const float scale =
+          std::max({1.0f, std::fabs(numeric), std::fabs(analytic)});
+      EXPECT_NEAR(analytic, numeric, tolerance * scale)
+          << "input " << i << " scalar " << k;
+    }
+  }
+}
+
+}  // namespace fedda::tensor::testing
+
+#endif  // FEDDA_TESTS_TENSOR_GRAD_CHECK_H_

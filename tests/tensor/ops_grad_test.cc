@@ -1,0 +1,406 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "tensor/ops.h"
+#include "tests/tensor/grad_check.h"
+
+namespace fedda::tensor {
+namespace {
+
+using testing::CheckGradients;
+
+Tensor RandomTensor(int64_t rows, int64_t cols, uint64_t seed,
+                    float lo = -1.5f, float hi = 1.5f) {
+  core::Rng rng(seed);
+  return Tensor::RandomUniform(rows, cols, &rng, lo, hi);
+}
+
+// ---------------------------------------------------------------------------
+// Forward-value tests.
+
+TEST(OpsForwardTest, AddSubMul) {
+  Graph g(false);
+  Var a = g.Constant(Tensor::FromVector(1, 2, {1, 2}));
+  Var b = g.Constant(Tensor::FromVector(1, 2, {10, 20}));
+  EXPECT_EQ(g.value(Add(&g, a, b)).at(0, 1), 22.0f);
+  EXPECT_EQ(g.value(Sub(&g, a, b)).at(0, 0), -9.0f);
+  EXPECT_EQ(g.value(Mul(&g, a, b)).at(0, 1), 40.0f);
+}
+
+TEST(OpsForwardTest, ScaleAndAddScalar) {
+  Graph g(false);
+  Var a = g.Constant(Tensor::FromVector(1, 2, {1, -2}));
+  EXPECT_EQ(g.value(Scale(&g, a, 3.0f)).at(0, 1), -6.0f);
+  EXPECT_EQ(g.value(AddScalar(&g, a, 5.0f)).at(0, 1), 3.0f);
+}
+
+TEST(OpsForwardTest, ActivationValues) {
+  Graph g(false);
+  Var a = g.Constant(Tensor::FromVector(1, 3, {-2.0f, 0.0f, 2.0f}));
+  const Tensor& lrelu = g.value(LeakyRelu(&g, a, 0.1f));
+  EXPECT_FLOAT_EQ(lrelu.at(0, 0), -0.2f);
+  EXPECT_FLOAT_EQ(lrelu.at(0, 2), 2.0f);
+  const Tensor& elu = g.value(Elu(&g, a));
+  EXPECT_NEAR(elu.at(0, 0), std::exp(-2.0f) - 1.0f, 1e-6);
+  EXPECT_FLOAT_EQ(elu.at(0, 2), 2.0f);
+  const Tensor& sig = g.value(Sigmoid(&g, a));
+  EXPECT_FLOAT_EQ(sig.at(0, 1), 0.5f);
+  const Tensor& th = g.value(Tanh(&g, a));
+  EXPECT_NEAR(th.at(0, 2), std::tanh(2.0f), 1e-6);
+}
+
+TEST(OpsForwardTest, GatherAndScatterAreDuals) {
+  Graph g(false);
+  Var a = g.Constant(Tensor::FromVector(3, 2, {1, 2, 3, 4, 5, 6}));
+  auto idx = MakeIndices({2, 0, 2});
+  const Tensor& gathered = g.value(GatherRows(&g, a, idx));
+  EXPECT_EQ(gathered.rows(), 3);
+  EXPECT_EQ(gathered.at(0, 0), 5.0f);
+  EXPECT_EQ(gathered.at(1, 1), 2.0f);
+
+  Var b = g.Constant(Tensor::FromVector(3, 1, {1, 10, 100}));
+  const Tensor& scattered = g.value(ScatterAddRows(&g, b, idx, 4));
+  EXPECT_EQ(scattered.rows(), 4);
+  EXPECT_EQ(scattered.at(2, 0), 101.0f);  // rows 0 and 2 of b
+  EXPECT_EQ(scattered.at(0, 0), 10.0f);
+  EXPECT_EQ(scattered.at(1, 0), 0.0f);
+  EXPECT_EQ(scattered.at(3, 0), 0.0f);
+}
+
+TEST(OpsForwardTest, SegmentSoftmaxNormalizesPerSegment) {
+  Graph g(false);
+  Var logits = g.Constant(Tensor::ColVector({1.0f, 2.0f, 3.0f, -1.0f}));
+  auto seg = MakeIndices({0, 0, 1, 1});
+  const Tensor& alpha = g.value(SegmentSoftmax(&g, logits, seg, 2));
+  EXPECT_NEAR(alpha.at(0, 0) + alpha.at(1, 0), 1.0, 1e-6);
+  EXPECT_NEAR(alpha.at(2, 0) + alpha.at(3, 0), 1.0, 1e-6);
+  EXPECT_GT(alpha.at(1, 0), alpha.at(0, 0));
+  EXPECT_GT(alpha.at(2, 0), alpha.at(3, 0));
+}
+
+TEST(OpsForwardTest, SegmentSoftmaxSingletonSegmentsAreOne) {
+  Graph g(false);
+  Var logits = g.Constant(Tensor::ColVector({-50.0f, 80.0f}));
+  auto seg = MakeIndices({0, 1});
+  const Tensor& alpha = g.value(SegmentSoftmax(&g, logits, seg, 2));
+  EXPECT_NEAR(alpha.at(0, 0), 1.0, 1e-6);
+  EXPECT_NEAR(alpha.at(1, 0), 1.0, 1e-6);
+}
+
+TEST(OpsForwardTest, SegmentSoftmaxNumericallyStableForLargeLogits) {
+  Graph g(false);
+  Var logits = g.Constant(Tensor::ColVector({1000.0f, 1001.0f}));
+  auto seg = MakeIndices({0, 0});
+  const Tensor& alpha = g.value(SegmentSoftmax(&g, logits, seg, 1));
+  EXPECT_FALSE(std::isnan(alpha.at(0, 0)));
+  EXPECT_NEAR(alpha.at(0, 0) + alpha.at(1, 0), 1.0, 1e-6);
+  EXPECT_GT(alpha.at(1, 0), alpha.at(0, 0));
+}
+
+TEST(OpsForwardTest, ConcatColsAndRows) {
+  Graph g(false);
+  Var a = g.Constant(Tensor::FromVector(2, 1, {1, 2}));
+  Var b = g.Constant(Tensor::FromVector(2, 2, {3, 4, 5, 6}));
+  const Tensor& cc = g.value(ConcatCols(&g, {a, b}));
+  EXPECT_EQ(cc.cols(), 3);
+  EXPECT_EQ(cc.at(1, 0), 2.0f);
+  EXPECT_EQ(cc.at(1, 2), 6.0f);
+
+  Var c = g.Constant(Tensor::FromVector(1, 2, {7, 8}));
+  const Tensor& cr = g.value(ConcatRows(&g, {b, c}));
+  EXPECT_EQ(cr.rows(), 3);
+  EXPECT_EQ(cr.at(2, 1), 8.0f);
+}
+
+TEST(OpsForwardTest, RowL2NormalizeUnitNorms) {
+  Graph g(false);
+  Var a = g.Constant(Tensor::FromVector(2, 2, {3, 4, 0.6f, 0.8f}));
+  const Tensor& n = g.value(RowL2Normalize(&g, a));
+  EXPECT_NEAR(n.at(0, 0), 0.6, 1e-6);
+  EXPECT_NEAR(n.at(0, 1), 0.8, 1e-6);
+  EXPECT_NEAR(n.at(1, 0) * n.at(1, 0) + n.at(1, 1) * n.at(1, 1), 1.0, 1e-5);
+}
+
+TEST(OpsForwardTest, RowL2NormalizeZeroRowIsSafe) {
+  Graph g(false);
+  Var a = g.Constant(Tensor::Zeros(1, 3));
+  const Tensor& n = g.value(RowL2Normalize(&g, a));
+  EXPECT_EQ(n.at(0, 0), 0.0f);
+  EXPECT_FALSE(std::isnan(n.at(0, 1)));
+}
+
+TEST(OpsForwardTest, RowDotAndRowScale) {
+  Graph g(false);
+  Var a = g.Constant(Tensor::FromVector(2, 2, {1, 2, 3, 4}));
+  Var b = g.Constant(Tensor::FromVector(2, 2, {5, 6, 7, 8}));
+  const Tensor& dot = g.value(RowDot(&g, a, b));
+  EXPECT_EQ(dot.at(0, 0), 17.0f);
+  EXPECT_EQ(dot.at(1, 0), 53.0f);
+
+  Var s = g.Constant(Tensor::ColVector({2.0f, -1.0f}));
+  const Tensor& scaled = g.value(RowScale(&g, a, s));
+  EXPECT_EQ(scaled.at(0, 1), 4.0f);
+  EXPECT_EQ(scaled.at(1, 0), -3.0f);
+}
+
+TEST(OpsForwardTest, BceWithLogitsMatchesClosedForm) {
+  Graph g(false);
+  Var logits = g.Constant(Tensor::ColVector({0.0f, 2.0f}));
+  Tensor labels = Tensor::ColVector({1.0f, 0.0f});
+  const float loss = g.value(BceWithLogits(&g, logits, labels)).at(0, 0);
+  const float expected =
+      0.5f * (std::log(2.0f) + (2.0f + std::log1p(std::exp(-2.0f))));
+  EXPECT_NEAR(loss, expected, 1e-5);
+}
+
+TEST(OpsForwardTest, BceWithLogitsStableForExtremeLogits) {
+  Graph g(false);
+  Var logits = g.Constant(Tensor::ColVector({100.0f, -100.0f}));
+  Tensor labels = Tensor::ColVector({1.0f, 0.0f});
+  const float loss = g.value(BceWithLogits(&g, logits, labels)).at(0, 0);
+  EXPECT_FALSE(std::isnan(loss));
+  EXPECT_NEAR(loss, 0.0, 1e-5);
+}
+
+TEST(OpsForwardTest, DropoutIdentityWhenZeroOrInference) {
+  core::Rng rng(1);
+  {
+    Graph g(true);
+    Var a = g.Constant(Tensor::Ones(2, 2));
+    Var d = Dropout(&g, a, 0.0f, &rng);
+    EXPECT_EQ(d.id, a.id);
+  }
+  {
+    Graph g(false);
+    Var a = g.Constant(Tensor::Ones(2, 2));
+    Var d = Dropout(&g, a, 0.5f, &rng);
+    EXPECT_EQ(d.id, a.id);
+  }
+}
+
+TEST(OpsForwardTest, DropoutPreservesExpectation) {
+  core::Rng rng(2);
+  Graph g(true);
+  Var a = g.Constant(Tensor::Ones(100, 100));
+  Var d = Dropout(&g, a, 0.3f, &rng);
+  // Inverted dropout: E[output] == input.
+  EXPECT_NEAR(g.value(d).Mean(), 1.0, 0.05);
+  // Surviving entries are scaled by 1/keep.
+  bool found_scaled = false;
+  for (int64_t i = 0; i < g.value(d).size(); ++i) {
+    const float v = g.value(d).data()[i];
+    if (v != 0.0f) {
+      EXPECT_NEAR(v, 1.0f / 0.7f, 1e-5);
+      found_scaled = true;
+    }
+  }
+  EXPECT_TRUE(found_scaled);
+}
+
+TEST(OpsForwardTest, AddBiasBroadcastsRow) {
+  Graph g(false);
+  Var a = g.Constant(Tensor::FromVector(2, 2, {1, 2, 3, 4}));
+  Var bias = g.Constant(Tensor::FromVector(1, 2, {10, 20}));
+  const Tensor& out = g.value(AddBias(&g, a, bias));
+  EXPECT_EQ(out.at(0, 0), 11.0f);
+  EXPECT_EQ(out.at(1, 1), 24.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Gradient checks (central differences vs Backward).
+
+TEST(OpsGradTest, Add) {
+  CheckGradients({RandomTensor(2, 3, 1), RandomTensor(2, 3, 2)},
+                 [](Graph* g, const std::vector<Var>& v) {
+                   return Sum(g, Mul(g, Add(g, v[0], v[1]), v[0]));
+                 });
+}
+
+TEST(OpsGradTest, Sub) {
+  CheckGradients({RandomTensor(2, 3, 3), RandomTensor(2, 3, 4)},
+                 [](Graph* g, const std::vector<Var>& v) {
+                   return Sum(g, Mul(g, Sub(g, v[0], v[1]), v[1]));
+                 });
+}
+
+TEST(OpsGradTest, MulAndScale) {
+  CheckGradients({RandomTensor(3, 2, 5), RandomTensor(3, 2, 6)},
+                 [](Graph* g, const std::vector<Var>& v) {
+                   return Sum(g, Scale(g, Mul(g, v[0], v[1]), 0.7f));
+                 });
+}
+
+TEST(OpsGradTest, MatMul) {
+  CheckGradients({RandomTensor(3, 4, 7), RandomTensor(4, 2, 8)},
+                 [](Graph* g, const std::vector<Var>& v) {
+                   return Sum(g, MatMul(g, v[0], v[1]));
+                 });
+}
+
+TEST(OpsGradTest, MatMulChain) {
+  CheckGradients(
+      {RandomTensor(2, 3, 9), RandomTensor(3, 3, 10), RandomTensor(3, 1, 11)},
+      [](Graph* g, const std::vector<Var>& v) {
+        return Sum(g, MatMul(g, MatMul(g, v[0], v[1]), v[2]));
+      });
+}
+
+TEST(OpsGradTest, AddBias) {
+  CheckGradients({RandomTensor(3, 2, 12), RandomTensor(1, 2, 13)},
+                 [](Graph* g, const std::vector<Var>& v) {
+                   return Sum(g, Mul(g, AddBias(g, v[0], v[1]),
+                                     AddBias(g, v[0], v[1])));
+                 });
+}
+
+TEST(OpsGradTest, LeakyRelu) {
+  // Keep inputs away from the kink at 0 (finite differences break there).
+  Tensor x = Tensor::FromVector(1, 4, {-1.2f, -0.4f, 0.5f, 1.3f});
+  CheckGradients({x}, [](Graph* g, const std::vector<Var>& v) {
+    return Sum(g, LeakyRelu(g, v[0], 0.2f));
+  });
+}
+
+TEST(OpsGradTest, Elu) {
+  Tensor x = Tensor::FromVector(1, 4, {-1.5f, -0.5f, 0.5f, 1.5f});
+  CheckGradients({x}, [](Graph* g, const std::vector<Var>& v) {
+    return Sum(g, Mul(g, Elu(g, v[0]), v[0]));
+  });
+}
+
+TEST(OpsGradTest, SigmoidTanhExp) {
+  CheckGradients({RandomTensor(2, 2, 14)},
+                 [](Graph* g, const std::vector<Var>& v) {
+                   return Sum(g, Sigmoid(g, v[0]));
+                 });
+  CheckGradients({RandomTensor(2, 2, 15)},
+                 [](Graph* g, const std::vector<Var>& v) {
+                   return Sum(g, Tanh(g, v[0]));
+                 });
+  CheckGradients({RandomTensor(2, 2, 16, -1.0f, 1.0f)},
+                 [](Graph* g, const std::vector<Var>& v) {
+                   return Sum(g, Exp(g, v[0]));
+                 });
+}
+
+TEST(OpsGradTest, Log) {
+  CheckGradients({RandomTensor(2, 2, 17, 0.5f, 2.0f)},
+                 [](Graph* g, const std::vector<Var>& v) {
+                   return Sum(g, Log(g, v[0]));
+                 });
+}
+
+TEST(OpsGradTest, Mean) {
+  CheckGradients({RandomTensor(3, 3, 18)},
+                 [](Graph* g, const std::vector<Var>& v) {
+                   return Mean(g, Mul(g, v[0], v[0]));
+                 });
+}
+
+TEST(OpsGradTest, GatherRows) {
+  auto idx = MakeIndices({2, 0, 1, 2});
+  CheckGradients({RandomTensor(3, 2, 19)},
+                 [idx](Graph* g, const std::vector<Var>& v) {
+                   Var gathered = GatherRows(g, v[0], idx);
+                   return Sum(g, Mul(g, gathered, gathered));
+                 });
+}
+
+TEST(OpsGradTest, ScatterAddRows) {
+  auto idx = MakeIndices({1, 1, 0});
+  CheckGradients({RandomTensor(3, 2, 20)},
+                 [idx](Graph* g, const std::vector<Var>& v) {
+                   Var s = ScatterAddRows(g, v[0], idx, 3);
+                   return Sum(g, Mul(g, s, s));
+                 });
+}
+
+TEST(OpsGradTest, SegmentSoftmax) {
+  auto seg = MakeIndices({0, 0, 0, 1, 1});
+  // Weighted sum of attention makes the gradient non-trivial.
+  Tensor weights = Tensor::ColVector({1.0f, -2.0f, 0.5f, 3.0f, -1.0f});
+  CheckGradients(
+      {RandomTensor(5, 1, 21)},
+      [seg, weights](Graph* g, const std::vector<Var>& v) {
+        Var alpha = SegmentSoftmax(g, v[0], seg, 2);
+        return Sum(g, Mul(g, alpha, g->Constant(weights)));
+      },
+      /*eps=*/5e-3f);
+}
+
+TEST(OpsGradTest, ConcatColsAndRows) {
+  CheckGradients({RandomTensor(2, 2, 22), RandomTensor(2, 3, 23)},
+                 [](Graph* g, const std::vector<Var>& v) {
+                   Var c = ConcatCols(g, {v[0], v[1]});
+                   return Sum(g, Mul(g, c, c));
+                 });
+  CheckGradients({RandomTensor(2, 2, 24), RandomTensor(3, 2, 25)},
+                 [](Graph* g, const std::vector<Var>& v) {
+                   Var c = ConcatRows(g, {v[0], v[1]});
+                   return Sum(g, Mul(g, c, c));
+                 });
+}
+
+TEST(OpsGradTest, RowL2Normalize) {
+  // Rows well away from zero norm for a stable finite difference.
+  Tensor x = Tensor::FromVector(2, 3, {1.0f, -2.0f, 0.5f, 0.8f, 1.4f, -0.6f});
+  Tensor weights = Tensor::FromVector(2, 3, {0.3f, 1.2f, -0.7f,
+                                             -0.2f, 0.9f, 1.1f});
+  CheckGradients(
+      {x},
+      [weights](Graph* g, const std::vector<Var>& v) {
+        Var n = RowL2Normalize(g, v[0]);
+        return Sum(g, Mul(g, n, g->Constant(weights)));
+      },
+      /*eps=*/5e-3f);
+}
+
+TEST(OpsGradTest, RowDot) {
+  CheckGradients({RandomTensor(3, 2, 26), RandomTensor(3, 2, 27)},
+                 [](Graph* g, const std::vector<Var>& v) {
+                   return Sum(g, RowDot(g, v[0], v[1]));
+                 });
+}
+
+TEST(OpsGradTest, RowScale) {
+  CheckGradients({RandomTensor(3, 2, 28), RandomTensor(3, 1, 29)},
+                 [](Graph* g, const std::vector<Var>& v) {
+                   Var s = RowScale(g, v[0], v[1]);
+                   return Sum(g, Mul(g, s, s));
+                 });
+}
+
+TEST(OpsGradTest, BceWithLogits) {
+  Tensor labels = Tensor::ColVector({1.0f, 0.0f, 1.0f, 0.0f});
+  CheckGradients({RandomTensor(4, 1, 30)},
+                 [labels](Graph* g, const std::vector<Var>& v) {
+                   return BceWithLogits(g, v[0], labels);
+                 });
+}
+
+TEST(OpsGradTest, CompositeAttentionLikeExpression) {
+  // A miniature one-head attention: exercises the exact op chain used by
+  // the Simple-HGN layer (matmul -> gather -> segment softmax -> row scale
+  // -> scatter -> normalize).
+  auto src = MakeIndices({0, 1, 2, 0});
+  auto dst = MakeIndices({1, 2, 1, 2});
+  CheckGradients(
+      {RandomTensor(3, 2, 31), RandomTensor(2, 2, 32),
+       RandomTensor(2, 1, 33)},
+      [src, dst](Graph* g, const std::vector<Var>& v) {
+        Var wh = MatMul(g, v[0], v[1]);
+        Var logits = Add(g, GatherRows(g, MatMul(g, wh, v[2]), src),
+                         GatherRows(g, MatMul(g, wh, v[2]), dst));
+        Var alpha = SegmentSoftmax(g, LeakyRelu(g, logits, 0.2f), dst, 3);
+        Var msg = RowScale(g, GatherRows(g, wh, src), alpha);
+        Var agg = ScatterAddRows(g, msg, dst, 3);
+        Var out = RowL2Normalize(g, Elu(g, agg));
+        return Sum(g, Mul(g, out, out));
+      },
+      /*eps=*/5e-3f, /*tolerance=*/3e-2f);
+}
+
+}  // namespace
+}  // namespace fedda::tensor

@@ -1,0 +1,110 @@
+#include "tensor/parameter_store.h"
+
+#include <gtest/gtest.h>
+
+namespace fedda::tensor {
+namespace {
+
+ParameterStore MakeStore() {
+  ParameterStore store;
+  store.Register("enc/W", Tensor::Full(2, 3, 1.0f));
+  store.Register("enc/edge_emb", Tensor::Full(4, 2, 2.0f),
+                 /*disentangled=*/true);
+  store.Register("dec/rel/co-view", Tensor::Full(1, 3, 3.0f),
+                 /*disentangled=*/true, /*edge_type=*/0);
+  return store;
+}
+
+TEST(ParameterStoreTest, RegistrationAndCounts) {
+  ParameterStore store = MakeStore();
+  EXPECT_EQ(store.num_groups(), 3);
+  EXPECT_EQ(store.num_scalars(), 6 + 8 + 3);
+  EXPECT_EQ(store.num_disentangled_scalars(), 8 + 3);
+}
+
+TEST(ParameterStoreTest, InfoAndLookup) {
+  ParameterStore store = MakeStore();
+  EXPECT_EQ(store.FindByName("enc/edge_emb"), 1);
+  EXPECT_EQ(store.FindByName("missing"), -1);
+  EXPECT_FALSE(store.info(0).disentangled);
+  EXPECT_TRUE(store.info(1).disentangled);
+  EXPECT_EQ(store.info(2).edge_type, 0);
+  EXPECT_EQ(store.info(2).name, "dec/rel/co-view");
+}
+
+TEST(ParameterStoreTest, GroupOffsets) {
+  ParameterStore store = MakeStore();
+  EXPECT_EQ(store.group_offset(0), 0);
+  EXPECT_EQ(store.group_offset(1), 6);
+  EXPECT_EQ(store.group_offset(2), 14);
+}
+
+TEST(ParameterStoreTest, DisentangledGroups) {
+  ParameterStore store = MakeStore();
+  EXPECT_EQ(store.DisentangledGroups(), (std::vector<int>{1, 2}));
+}
+
+TEST(ParameterStoreTest, GradsStartZeroAndZeroGradsResets) {
+  ParameterStore store = MakeStore();
+  EXPECT_EQ(store.grad(0).Sum(), 0.0);
+  store.grad(0).Fill(5.0f);
+  store.ZeroGrads();
+  EXPECT_EQ(store.grad(0).Sum(), 0.0);
+}
+
+TEST(ParameterStoreTest, SameStructureAndCopyValues) {
+  ParameterStore a = MakeStore();
+  ParameterStore b = MakeStore();
+  EXPECT_TRUE(a.SameStructure(b));
+  b.value(0).Fill(9.0f);
+  a.CopyValuesFrom(b);
+  EXPECT_EQ(a.value(0).at(0, 0), 9.0f);
+
+  ParameterStore c;
+  c.Register("other", Tensor::Zeros(1, 1));
+  EXPECT_FALSE(a.SameStructure(c));
+}
+
+TEST(ParameterStoreTest, FlattenRoundTrip) {
+  ParameterStore a = MakeStore();
+  const std::vector<float> flat = a.FlattenValues();
+  ASSERT_EQ(static_cast<int64_t>(flat.size()), a.num_scalars());
+  EXPECT_EQ(flat[0], 1.0f);
+  EXPECT_EQ(flat[6], 2.0f);
+  EXPECT_EQ(flat[14], 3.0f);
+
+  ParameterStore b = MakeStore();
+  std::vector<float> modified = flat;
+  modified[7] = -1.0f;
+  b.SetFromFlat(modified);
+  EXPECT_EQ(b.value(1).at(0, 1), -1.0f);
+  EXPECT_EQ(b.value(0).at(0, 0), 1.0f);
+}
+
+TEST(ParameterStoreTest, CopySemanticsAreDeep) {
+  ParameterStore a = MakeStore();
+  ParameterStore b = a;
+  b.value(0).Fill(42.0f);
+  EXPECT_EQ(a.value(0).at(0, 0), 1.0f);
+}
+
+TEST(ParameterStoreDeathTest, DuplicateNameAborts) {
+  ParameterStore store = MakeStore();
+  EXPECT_DEATH(store.Register("enc/W", Tensor::Zeros(1, 1)), "duplicate");
+}
+
+TEST(ParameterStoreDeathTest, StructureMismatchCopyAborts) {
+  ParameterStore a = MakeStore();
+  ParameterStore b;
+  b.Register("x", Tensor::Zeros(1, 1));
+  EXPECT_DEATH(a.CopyValuesFrom(b), "mismatch");
+}
+
+TEST(ParameterStoreDeathTest, BadIdAborts) {
+  ParameterStore store = MakeStore();
+  EXPECT_DEATH(store.value(3), "");
+  EXPECT_DEATH(store.value(-1), "");
+}
+
+}  // namespace
+}  // namespace fedda::tensor

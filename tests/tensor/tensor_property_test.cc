@@ -1,0 +1,109 @@
+// Algebraic property sweeps for the Tensor value type and MatMulValue.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "tensor/tensor.h"
+
+namespace fedda::tensor {
+namespace {
+
+class TensorShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  Tensor Random(uint64_t salt) {
+    const auto [r, c] = GetParam();
+    core::Rng rng(salt * 1000 + static_cast<uint64_t>(r * 10 + c));
+    return Tensor::RandomNormal(r, c, &rng);
+  }
+};
+
+TEST_P(TensorShapeTest, TransposeIsInvolution) {
+  const Tensor a = Random(1);
+  EXPECT_TRUE(a.Transposed().Transposed().Equals(a));
+}
+
+TEST_P(TensorShapeTest, AxpyMatchesScaleAndAdd) {
+  const Tensor a = Random(2);
+  const Tensor b = Random(3);
+  Tensor via_axpy = a;
+  via_axpy.Axpy(2.5f, b);
+  Tensor via_ops = b;
+  via_ops.Scale(2.5f);
+  via_ops.Add(a);
+  EXPECT_TRUE(via_axpy.AllClose(via_ops, 1e-5f));
+}
+
+TEST_P(TensorShapeTest, SubThenAddRoundTrips) {
+  const Tensor a = Random(4);
+  const Tensor b = Random(5);
+  Tensor diff = a.Sub(b);
+  diff.Add(b);
+  EXPECT_TRUE(diff.AllClose(a, 1e-5f));
+}
+
+TEST_P(TensorShapeTest, NormSatisfiesTriangleInequality) {
+  const Tensor a = Random(6);
+  const Tensor b = Random(7);
+  Tensor sum = a;
+  sum.Add(b);
+  EXPECT_LE(sum.Norm(), a.Norm() + b.Norm() + 1e-4);
+}
+
+TEST_P(TensorShapeTest, MeanTimesSizeIsSum) {
+  const Tensor a = Random(8);
+  EXPECT_NEAR(a.Mean() * static_cast<double>(a.size()), a.Sum(),
+              1e-3 * std::max(1.0, std::fabs(a.Sum())));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TensorShapeTest,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(1, 7),
+                      std::make_tuple(5, 1), std::make_tuple(4, 6),
+                      std::make_tuple(16, 16)));
+
+class MatMulPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatMulPropertyTest, DistributesOverAddition) {
+  const int n = GetParam();
+  core::Rng rng(static_cast<uint64_t>(n));
+  const Tensor a = Tensor::RandomNormal(n, n, &rng);
+  const Tensor b = Tensor::RandomNormal(n, n, &rng);
+  const Tensor c = Tensor::RandomNormal(n, n, &rng);
+  Tensor b_plus_c = b;
+  b_plus_c.Add(c);
+  const Tensor lhs = MatMulValue(a, b_plus_c);
+  Tensor rhs = MatMulValue(a, b);
+  rhs.Add(MatMulValue(a, c));
+  EXPECT_TRUE(lhs.AllClose(rhs, 1e-3f));
+}
+
+TEST_P(MatMulPropertyTest, AssociativeWithinTolerance) {
+  const int n = GetParam();
+  core::Rng rng(static_cast<uint64_t>(n) + 100);
+  const Tensor a = Tensor::RandomNormal(n, n, &rng, 0.0f, 0.5f);
+  const Tensor b = Tensor::RandomNormal(n, n, &rng, 0.0f, 0.5f);
+  const Tensor c = Tensor::RandomNormal(n, n, &rng, 0.0f, 0.5f);
+  const Tensor lhs = MatMulValue(MatMulValue(a, b), c);
+  const Tensor rhs = MatMulValue(a, MatMulValue(b, c));
+  EXPECT_TRUE(lhs.AllClose(rhs, 1e-2f));
+}
+
+TEST_P(MatMulPropertyTest, TransposeReversesProduct) {
+  const int n = GetParam();
+  core::Rng rng(static_cast<uint64_t>(n) + 200);
+  const Tensor a = Tensor::RandomNormal(n, n + 1, &rng);
+  const Tensor b = Tensor::RandomNormal(n + 1, n, &rng);
+  const Tensor lhs = MatMulValue(a, b).Transposed();
+  const Tensor rhs = MatMulValue(b.Transposed(), a.Transposed());
+  EXPECT_TRUE(lhs.AllClose(rhs, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatMulPropertyTest,
+                         ::testing::Values(1, 3, 8, 17));
+
+}  // namespace
+}  // namespace fedda::tensor
