@@ -27,6 +27,8 @@ void CommonFlags::Register(core::FlagParser* parser) {
   parser->AddString("outdir", &outdir, "directory for CSV outputs");
   parser->AddBool("paper_scale", &paper_scale,
                   "use paper-scale datasets (slow)");
+  parser->AddInt("threads", &threads,
+                 "worker threads for the shared pool (0 = sequential)");
 }
 
 double CommonFlags::ResolvedScale() const {
@@ -69,6 +71,7 @@ fl::FlOptions MakeFlOptions(const CommonFlags& flags) {
   options.local.batch_size = flags.batch_size;
   options.eval.max_edges = flags.eval_max_edges;
   options.eval.mrr_negatives = flags.mrr_negatives;
+  options.worker_threads = flags.threads;
   // Paper best hyper-parameters (Sec. 6.1).
   options.beta_r = 0.4;
   options.beta_e = 0.667;

@@ -25,6 +25,9 @@ struct CommonFlags {
   uint64_t seed = 7;
   std::string outdir = "bench_results";
   bool paper_scale = false;
+  /// Worker threads for the shared pool (0 = fully sequential). Results are
+  /// bit-identical for any value; only wall-clock changes.
+  int threads = 0;
 
   /// Registers all flags on `parser`.
   void Register(core::FlagParser* parser);

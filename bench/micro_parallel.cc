@@ -1,0 +1,148 @@
+// Measures what the shared thread pool buys: sequential (worker_threads=0)
+// vs pooled (--threads, default 4) wall-clock for the parallelized kernels
+// and for a full federated round, at the bench-default system size. Every
+// pooled kernel is bit-identical to its sequential counterpart (asserted by
+// tests), so this bench reports pure wall-clock, not a quality trade-off.
+//
+// Note: on a single-core machine the pooled numbers include scheduling
+// overhead with no parallel speedup; run on >= --threads physical cores to
+// see the intended effect.
+
+#include <functional>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/csv_writer.h"
+#include "core/string_util.h"
+#include "core/table_printer.h"
+#include "core/thread_pool.h"
+#include "core/timer.h"
+
+namespace fedda::bench {
+namespace {
+
+/// Best-of-`reps` milliseconds for `fn` after one warmup call.
+double BestMillis(int reps, const std::function<void()>& fn) {
+  fn();  // warmup: first call pays allocation / page-fault costs
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    core::WallTimer timer;
+    fn();
+    const double ms = timer.ElapsedMillis();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+int Main(int argc, char** argv) {
+  CommonFlags flags;
+  flags.threads = 4;
+  int reps = 5;
+  core::FlagParser parser;
+  parser.AddInt("reps", &reps, "timed repetitions per kernel (best-of)");
+  flags.Register(&parser);
+  const core::Status status = parser.Parse(argc, argv);
+  if (!status.ok()) {
+    return status.code() == core::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  FEDDA_CHECK_GT(flags.threads, 0) << "--threads must be positive here";
+
+  core::ThreadPool pool(flags.threads);
+
+  // The bench-default system (Amazon 0.03, hidden 16, M=4) used by the
+  // micro_hgn suite, so numbers are comparable.
+  CommonFlags system_flags = flags;
+  system_flags.dataset = "amazon";
+  const fl::FederatedSystem system =
+      fl::FederatedSystem::Build(MakeSystemConfig(system_flags, 4));
+  tensor::ParameterStore store = system.MakeInitialStore(1);
+  const hgn::MpStructure mp = system.model().BuildStructure(system.global());
+
+  struct Case {
+    std::string name;
+    std::function<void(core::ThreadPool*)> run;
+  };
+  std::vector<Case> cases;
+
+  // Dense matmul: the dominant cost of the Simple-HGN forward pass.
+  core::Rng mm_rng(11);
+  const tensor::Tensor mm_a =
+      tensor::Tensor::RandomUniform(2048, 128, &mm_rng, -1.0f, 1.0f);
+  const tensor::Tensor mm_b =
+      tensor::Tensor::RandomUniform(128, 128, &mm_rng, -1.0f, 1.0f);
+  cases.push_back({"matmul 2048x128x128", [&](core::ThreadPool* p) {
+                     tensor::Tensor c = tensor::MatMulValue(mm_a, mm_b, p);
+                     FEDDA_CHECK_EQ(c.rows(), 2048);
+                   }});
+
+  // Segment softmax over many small segments: the attention normalizer.
+  constexpr int64_t kLogits = 200000;
+  constexpr int kSegments = 50000;
+  core::Rng seg_rng(12);
+  const tensor::Tensor seg_logits = tensor::Tensor::RandomUniform(
+      kLogits, 1, &seg_rng, -2.0f, 2.0f);
+  std::vector<int32_t> seg_ids(kLogits);
+  for (int64_t i = 0; i < kLogits; ++i) {
+    seg_ids[static_cast<size_t>(i)] =
+        static_cast<int32_t>(seg_rng.UniformInt(uint64_t{kSegments}));
+  }
+  auto segments = tensor::MakeIndices(seg_ids);
+  cases.push_back({"segment softmax 200k/50k", [&](core::ThreadPool* p) {
+                     tensor::Graph g(false);
+                     g.set_pool(p);
+                     tensor::Var logits = g.Constant(seg_logits);
+                     tensor::Var alpha =
+                         tensor::SegmentSoftmax(&g, logits, segments,
+                                                kSegments);
+                     FEDDA_CHECK_EQ(g.value(alpha).rows(), kLogits);
+                   }});
+
+  // Full Simple-HGN encoder forward on the global graph.
+  cases.push_back({"simple-hgn forward", [&](core::ThreadPool* p) {
+                     tensor::Graph g(false);
+                     g.set_pool(p);
+                     system.model().Encode(&g, system.global(), mp, &store);
+                   }});
+
+  // One complete federated round: broadcast + M local updates + aggregation.
+  cases.push_back({"federated round (M=4)", [&](core::ThreadPool* p) {
+                     fl::FlOptions options = MakeFlOptions(system_flags);
+                     options.algorithm = fl::FlAlgorithm::kFedDaExplore;
+                     options.rounds = 1;
+                     options.eval_every_round = false;
+                     options.eval.max_edges = 1;
+                     options.worker_threads =
+                         p == nullptr ? 0 : flags.threads;
+                     fl::RunFederated(system, options, 42);
+                   }});
+
+  core::TablePrinter table({"Kernel", "1 thread (ms)",
+                            core::StrFormat("%d threads (ms)", flags.threads),
+                            "Speedup"});
+  core::CsvWriter csv;
+  FEDDA_CHECK_OK(csv.Open(OutputPath(flags, "micro_parallel.csv"),
+                          {"kernel", "threads", "sequential_ms", "pooled_ms",
+                           "speedup"}));
+  for (const Case& c : cases) {
+    const double seq_ms = BestMillis(reps, [&] { c.run(nullptr); });
+    const double par_ms = BestMillis(reps, [&] { c.run(&pool); });
+    const double speedup = seq_ms / par_ms;
+    table.AddRow({c.name, core::FormatDouble(seq_ms, 2),
+                  core::FormatDouble(par_ms, 2),
+                  core::StrFormat("%.2fx", speedup)});
+    csv.WriteRow(std::vector<std::string>{
+        c.name, std::to_string(flags.threads),
+        core::FormatDouble(seq_ms, 3), core::FormatDouble(par_ms, 3),
+        core::FormatDouble(speedup, 3)});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n=== Sequential vs pooled kernels (best of " << reps
+            << " reps, " << flags.threads << " workers) ===\n";
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedda::bench
+
+int main(int argc, char** argv) { return fedda::bench::Main(argc, argv); }

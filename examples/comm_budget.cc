@@ -42,10 +42,13 @@ BudgetPoint EvaluateUnderBudget(const fl::FlRunResult& run, int64_t budget) {
 int main(int argc, char** argv) {
   int clients = 8;
   int rounds = 25;
+  int threads = 0;
   double budget_multiplier = 0.5;
   core::FlagParser flags;
   flags.AddInt("clients", &clients, "number of clients");
   flags.AddInt("rounds", &rounds, "maximum rounds to simulate");
+  flags.AddInt("threads", &threads,
+               "worker threads (0 = sequential; results are identical)");
   flags.AddDouble("budget_multiplier", &budget_multiplier,
                   "budget as a fraction of FedAvg's full-run uplink");
   if (core::Status s = flags.Parse(argc, argv); !s.ok()) {
@@ -66,6 +69,7 @@ int main(int argc, char** argv) {
   base.local.learning_rate = 5e-3f;
   base.eval.max_edges = 400;
   base.eval.mrr_negatives = 5;
+  base.worker_threads = threads;
 
   // FedAvg's full-run uplink defines the budget scale.
   fl::FlOptions fedavg_options = base;

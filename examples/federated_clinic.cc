@@ -22,10 +22,13 @@ int main(int argc, char** argv) {
   int clients = 8;
   int rounds = 15;
   int runs = 2;
+  int threads = 0;
   core::FlagParser flags;
   flags.AddInt("clients", &clients, "number of clinics");
   flags.AddInt("rounds", &rounds, "communication rounds");
   flags.AddInt("runs", &runs, "repetitions");
+  flags.AddInt("threads", &threads,
+               "worker threads (0 = sequential; results are identical)");
   if (core::Status s = flags.Parse(argc, argv); !s.ok()) {
     return s.code() == core::StatusCode::kFailedPrecondition ? 0 : 1;
   }
@@ -83,6 +86,7 @@ int main(int argc, char** argv) {
   base.eval.mrr_negatives = 10;
   base.eval.max_edges = 400;
   base.eval_every_round = false;
+  base.worker_threads = threads;
 
   core::TablePrinter table({"Framework", "ROC-AUC", "MRR",
                             "Transmitted groups", "vs FedAvg"});

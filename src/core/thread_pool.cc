@@ -1,5 +1,7 @@
 #include "core/thread_pool.h"
 
+#include <algorithm>
+
 #include "core/check.h"
 
 namespace fedda::core {
@@ -40,12 +42,66 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::ParallelFor(int64_t n,
-                             const std::function<void(int64_t)>& fn) {
-  for (int64_t i = 0; i < n; ++i) {
-    Schedule([&fn, i] { fn(i); });
+void ThreadPool::RunChunks(const std::shared_ptr<ForLoop>& loop) {
+  // Claim chunks until none remain. A thread that claims a chunk is
+  // guaranteed `loop->fn` is still alive: ParallelForRange cannot return
+  // before `completed == num_chunks`, and this chunk has not completed yet.
+  // A thread that claims no chunk never dereferences `fn`.
+  while (true) {
+    const int64_t c = loop->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= loop->num_chunks) return;
+    const int64_t begin = c * loop->chunk;
+    const int64_t end = std::min(loop->n, begin + loop->chunk);
+    (*loop->fn)(begin, end);
+    {
+      std::unique_lock<std::mutex> lock(loop->mutex);
+      ++loop->completed;
+      if (loop->completed == loop->num_chunks) loop->done.notify_all();
+    }
   }
-  Wait();
+}
+
+void ThreadPool::ParallelForRange(
+    int64_t n, int64_t grain, const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  grain = std::max<int64_t>(grain, 1);
+  if (workers_.empty() || n <= grain) {
+    fn(0, n);
+    return;
+  }
+
+  auto loop = std::make_shared<ForLoop>();
+  loop->n = n;
+  // A few chunks per worker so fast threads pick up slack from slow ones,
+  // but never smaller than the grain (which callers size so per-chunk work
+  // amortizes the scheduling overhead).
+  const int64_t target_chunks = static_cast<int64_t>(workers_.size()) * 4;
+  loop->chunk = std::max(grain, (n + target_chunks - 1) / target_chunks);
+  loop->num_chunks = (loop->n + loop->chunk - 1) / loop->chunk;
+  loop->fn = &fn;
+
+  // Helpers beyond the chunk count would only contend on the cursor.
+  const int64_t helpers = std::min<int64_t>(
+      static_cast<int64_t>(workers_.size()), loop->num_chunks - 1);
+  for (int64_t h = 0; h < helpers; ++h) {
+    Schedule([loop] { RunChunks(loop); });
+  }
+
+  // The caller participates: even when every worker is busy (e.g. this is a
+  // nested call from inside a client-update task) the loop completes on the
+  // calling thread alone, so nesting cannot deadlock.
+  RunChunks(loop);
+
+  std::unique_lock<std::mutex> lock(loop->mutex);
+  loop->done.wait(lock,
+                  [&loop] { return loop->completed == loop->num_chunks; });
+}
+
+void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
+                             int64_t grain) {
+  ParallelForRange(n, grain, [&fn](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  });
 }
 
 void ThreadPool::WorkerLoop() {
@@ -69,6 +125,16 @@ void ThreadPool::WorkerLoop() {
       if (in_flight_ == 0) all_done_.notify_all();
     }
   }
+}
+
+void ParallelForRange(ThreadPool* pool, int64_t n, int64_t grain,
+                      const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  if (pool == nullptr || pool->num_threads() == 0) {
+    fn(0, n);
+    return;
+  }
+  pool->ParallelForRange(n, grain, fn);
 }
 
 }  // namespace fedda::core

@@ -1,18 +1,23 @@
 #ifndef FEDDA_CORE_THREAD_POOL_H_
 #define FEDDA_CORE_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace fedda::core {
 
-/// Fixed-size worker pool used to run independent client updates in
-/// parallel. With num_threads == 0 the pool degenerates to inline execution
-/// (useful on single-core hosts and for deterministic debugging).
+/// Long-lived fixed-size worker pool shared by the FL round loop (client-level
+/// parallelism) and the tensor kernels (row-level parallelism). A pool is
+/// constructed once per run and reused across thousands of ParallelFor waves.
+/// With num_threads == 0 the pool degenerates to inline execution (useful on
+/// single-core hosts and for deterministic debugging).
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -22,18 +27,48 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Tasks must not throw (the library is exception-free).
+  /// Tasks may Schedule further tasks; Wait() covers those as well.
   void Schedule(std::function<void()> task);
 
-  /// Blocks until every scheduled task has finished.
+  /// Blocks until every scheduled task has finished. Must not be called from
+  /// inside a worker task (the caller's own task counts as in-flight). Use
+  /// ParallelFor/ParallelForRange for nested parallelism instead.
   void Wait();
 
-  /// Runs fn(i) for i in [0, n), distributing across the pool, and waits.
-  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+  /// Runs fn(i) for i in [0, n), then returns. Work is split into contiguous
+  /// chunks of at least `grain` indices — one enqueue per chunk, not per
+  /// index — and the calling thread participates in executing chunks, so the
+  /// call is safe (and deadlock-free) from inside a worker task. Chunk
+  /// boundaries never change results as long as fn(i) only writes state owned
+  /// by index i.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
+                   int64_t grain = 1);
+
+  /// Range flavour: runs fn(begin, end) over a partition of [0, n) into
+  /// contiguous chunks of at least `grain` indices. Preferred for hot kernels
+  /// (no per-index std::function dispatch). Same nesting guarantees as
+  /// ParallelFor.
+  void ParallelForRange(int64_t n, int64_t grain,
+                        const std::function<void(int64_t, int64_t)>& fn);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
+  /// Shared state of one ParallelFor wave. Helpers claim chunks via an atomic
+  /// cursor; the caller waits until every chunk has completed.
+  struct ForLoop {
+    int64_t n = 0;
+    int64_t chunk = 1;
+    int64_t num_chunks = 0;
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    std::atomic<int64_t> next_chunk{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    int64_t completed = 0;
+  };
+
   void WorkerLoop();
+  static void RunChunks(const std::shared_ptr<ForLoop>& loop);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
@@ -43,6 +78,12 @@ class ThreadPool {
   int in_flight_ = 0;
   bool shutting_down_ = false;
 };
+
+/// Chunked parallel-for over [0, n) that tolerates a null or worker-less pool
+/// by running inline. The tensor kernels call this with the graph's optional
+/// pool pointer.
+void ParallelForRange(ThreadPool* pool, int64_t n, int64_t grain,
+                      const std::function<void(int64_t, int64_t)>& fn);
 
 }  // namespace fedda::core
 

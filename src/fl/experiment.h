@@ -89,6 +89,10 @@ struct RepeatedSummary {
   metrics::MeanStd final_mrr;
   double mean_total_uplink_groups = 0.0;
   double mean_total_uplink_scalars = 0.0;
+  /// Mean over runs of the straggler-bound uplink total (sum over rounds of
+  /// the slowest participant's scalars) — what a synchronous deployment
+  /// actually waits for.
+  double mean_total_max_uplink_scalars = 0.0;
   /// Per-round curves across runs (empty when eval_every_round was off).
   std::vector<double> mean_auc_per_round;
   std::vector<double> min_auc_per_round;

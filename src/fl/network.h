@@ -33,9 +33,13 @@ struct RoundTiming {
 
 /// Estimates per-round durations for a finished run. Synchronous rounds:
 /// duration = latency + downlink(full model) + compute(E epochs) +
-/// uplink(mean transmitted scalars per participant). Rounds with no
-/// participants cost only the latency. `model_scalars` is the full model
-/// size N in scalars; `local_epochs` the E used in the run.
+/// uplink(straggler). A synchronous round ends when its *slowest*
+/// participant finishes, so the uplink phase is charged with the round's
+/// RoundRecord::max_uplink_scalars; histories recorded before that field
+/// existed (max == 0 with non-zero uplink) fall back to the per-participant
+/// mean. Rounds with no participants cost only the latency. `model_scalars`
+/// is the full model size N in scalars; `local_epochs` the E used in the
+/// run.
 std::vector<RoundTiming> SimulateTiming(const FlRunResult& result,
                                         const NetworkModel& model,
                                         int64_t model_scalars,

@@ -56,11 +56,14 @@ FederatedRunner::FederatedRunner(std::vector<std::unique_ptr<Client>> clients,
 }
 
 std::pair<double, double> FederatedRunner::EvaluateGlobal(
-    tensor::ParameterStore* store, core::Rng* rng) const {
+    tensor::ParameterStore* store, core::Rng* rng,
+    core::ThreadPool* pool) const {
   if (evaluator_) return evaluator_(store, rng);
+  hgn::EvalOptions eval_options = options_.eval;
+  eval_options.pool = pool;
   const hgn::EvalResult eval = hgn::EvaluateLinkPrediction(
       *model_, *global_graph_, global_mp_, *test_edges_, store,
-      options_.eval, rng);
+      eval_options, rng);
   return {eval.auc, eval.mrr};
 }
 
@@ -198,6 +201,14 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
   const bool is_fedda = options_.algorithm != FlAlgorithm::kFedAvg;
   core::Rng eval_rng = rng->Split();
 
+  // One long-lived pool for the whole run, shared by every round: client
+  // updates fan out across it, and the same pool is handed down to the
+  // tensor kernels (via TrainOptions/EvalOptions) for row-level parallelism.
+  core::ThreadPool pool(options_.worker_threads);
+  core::ThreadPool* pool_ptr = options_.worker_threads > 0 ? &pool : nullptr;
+  hgn::TrainOptions local_options = options_.local;
+  local_options.pool = pool_ptr;
+
   FlRunResult result;
   result.history.reserve(static_cast<size_t>(options_.rounds));
 
@@ -221,7 +232,7 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
       record.active_after_round = state.num_active_clients();
       if (options_.eval_every_round || round == options_.rounds - 1) {
         std::tie(record.auc, record.mrr) =
-            EvaluateGlobal(global_store, &eval_rng);
+            EvaluateGlobal(global_store, &eval_rng, pool_ptr);
       }
       result.history.push_back(record);
       continue;
@@ -267,7 +278,7 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
       const int c = participants[static_cast<size_t>(p)];
       core::Rng& client_rng = client_rngs[static_cast<size_t>(p)];
       losses[static_cast<size_t>(p)] = clients_[static_cast<size_t>(c)]
-                                           ->Update(broadcast, options_.local,
+                                           ->Update(broadcast, local_options,
                                                     &client_rng);
       if (options_.dp_noise_std > 0.0) {
         // Perturb the client's outgoing weights (the server only ever sees
@@ -283,14 +294,10 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
         }
       }
     };
-    if (options_.worker_threads > 0) {
-      core::ThreadPool pool(options_.worker_threads);
-      pool.ParallelFor(static_cast<int64_t>(participants.size()), update_one);
-    } else {
-      for (size_t p = 0; p < participants.size(); ++p) {
-        update_one(static_cast<int64_t>(p));
-      }
-    }
+    // With zero workers ParallelFor degenerates to the sequential loop; with
+    // workers each client update is one chunk and the kernels inside it
+    // recursively share the same pool.
+    pool.ParallelFor(static_cast<int64_t>(participants.size()), update_one);
     double loss_sum = 0.0;
     for (double loss : losses) loss_sum += loss;
 
@@ -302,13 +309,15 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
     // Uplink accounting uses the masks in force *this* round (before the
     // post-aggregation update below).
     for (int c : participants) {
-      if (is_fedda) {
-        record.uplink_groups += state.TransmittedGroups(c);
-        record.uplink_scalars += state.TransmittedScalars(c);
-      } else {
-        record.uplink_groups += static_cast<int64_t>(selected_groups.size());
-        record.uplink_scalars += selected_scalars;
-      }
+      const int64_t scalars =
+          is_fedda ? state.TransmittedScalars(c) : selected_scalars;
+      record.uplink_groups += is_fedda
+                                  ? state.TransmittedGroups(c)
+                                  : static_cast<int64_t>(
+                                        selected_groups.size());
+      record.uplink_scalars += scalars;
+      record.max_uplink_scalars =
+          std::max(record.max_uplink_scalars, scalars);
     }
 
     const auto magnitudes = AggregateAndMeasure(
@@ -357,11 +366,12 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
 
     if (options_.eval_every_round || round == options_.rounds - 1) {
       std::tie(record.auc, record.mrr) =
-          EvaluateGlobal(global_store, &eval_rng);
+          EvaluateGlobal(global_store, &eval_rng, pool_ptr);
     }
 
     result.total_uplink_groups += record.uplink_groups;
     result.total_uplink_scalars += record.uplink_scalars;
+    result.total_max_uplink_scalars += record.max_uplink_scalars;
     result.history.push_back(record);
   }
 

@@ -77,9 +77,14 @@ struct RoundRecord {
   double mrr = 0.0;
   double mean_local_loss = 0.0;
   int participants = 0;
-  /// Uplink transmitted this round.
+  /// Uplink transmitted this round (summed over participants).
   int64_t uplink_groups = 0;
   int64_t uplink_scalars = 0;
+  /// Largest single-participant uplink this round. A synchronous round ends
+  /// only when its slowest participant finishes, so timing models must
+  /// charge this straggler value, not the per-participant mean — under
+  /// FedDA's per-client masks the two differ materially.
+  int64_t max_uplink_scalars = 0;
   /// Active-set size after this round's (de/re)activation.
   int active_after_round = 0;
 };
@@ -90,6 +95,9 @@ struct FlRunResult {
   double final_mrr = 0.0;
   int64_t total_uplink_groups = 0;
   int64_t total_uplink_scalars = 0;
+  /// Sum over rounds of RoundRecord::max_uplink_scalars: the uplink volume
+  /// on the straggler-bound critical path of a synchronous run.
+  int64_t total_max_uplink_scalars = 0;
 };
 
 /// Orchestrates one federated training run (Algorithm 1): owns the clients,
@@ -137,9 +145,10 @@ class FederatedRunner {
       tensor::ParameterStore* global_store) const;
 
   /// Scores `global_store`; uses evaluator_ when set, else the built-in
-  /// link-prediction evaluation.
+  /// link-prediction evaluation (which borrows `pool` for its forward pass).
   std::pair<double, double> EvaluateGlobal(tensor::ParameterStore* store,
-                                           core::Rng* rng) const;
+                                           core::Rng* rng,
+                                           core::ThreadPool* pool) const;
 
   const hgn::SimpleHgn* model_ = nullptr;
   const graph::HeteroGraph* global_graph_ = nullptr;

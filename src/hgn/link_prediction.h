@@ -10,6 +10,10 @@
 #include "hgn/task.h"
 #include "tensor/optimizer.h"
 
+namespace fedda::core {
+class ThreadPool;
+}  // namespace fedda::core
+
 namespace fedda::hgn {
 
 /// Local-training hyper-parameters (the paper's E, B, eta).
@@ -33,6 +37,10 @@ struct TrainOptions {
   int ego_hops = 0;
   /// Neighbors sampled per node per hop in ego mode (0 = all).
   int ego_fanout = 0;
+  /// Optional borrowed compute pool for row-level kernel parallelism inside
+  /// the forward/backward passes. Null = sequential. Results are
+  /// bit-identical either way (see tensor::Graph::set_pool).
+  core::ThreadPool* pool = nullptr;
 };
 
 /// Evaluation protocol knobs.
@@ -44,6 +52,9 @@ struct EvalOptions {
   /// Cap on evaluated test edges (0 = all); evaluation subsamples
   /// deterministically from `rng` when capped.
   int64_t max_edges = 0;
+  /// Optional borrowed compute pool for the inference forward pass; same
+  /// contract as TrainOptions::pool.
+  core::ThreadPool* pool = nullptr;
 };
 
 struct EvalResult {

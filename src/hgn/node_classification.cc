@@ -94,6 +94,7 @@ double NodeClassificationTask::TrainRound(ParameterStore* store,
 
       store->ZeroGrads();
       tensor::Graph g(/*training=*/true);
+      g.set_pool(options.pool);
       Var embeddings = model_->Encode(&g, *graph_, mp_, store, rng);
       Var logits = Logits(&g, embeddings, nodes, store);
       Var loss = tensor::SoftmaxCrossEntropy(&g, logits, batch_labels);

@@ -71,11 +71,18 @@ double MeanReciprocalRank(const std::vector<double>& reciprocal_ranks) {
 bool HitsAtK(double positive_score,
              const std::vector<double>& negative_scores, int k) {
   FEDDA_CHECK_GT(k, 0);
-  int64_t ahead = 0;
+  // Expected-rank convention, shared with ReciprocalRank: a strictly higher
+  // negative pushes the positive down one full rank, an exact tie half a
+  // rank (the expectation over uniformly random tie-breaking).
+  double rank = 1.0;
   for (double s : negative_scores) {
-    if (s >= positive_score) ++ahead;
+    if (s > positive_score) {
+      rank += 1.0;
+    } else if (s == positive_score) {
+      rank += 0.5;
+    }
   }
-  return ahead < k;
+  return rank <= static_cast<double>(k);
 }
 
 double MeanHitsAtK(const std::vector<double>& positives,
@@ -108,9 +115,12 @@ MeanStd ComputeMeanStd(const std::vector<double>& values) {
   double total = 0.0;
   for (double v : values) total += v;
   out.mean = total / static_cast<double>(values.size());
+  if (values.size() < 2) return out;  // one sample: mean only, std = 0
   double sq = 0.0;
   for (double v : values) sq += (v - out.mean) * (v - out.mean);
-  out.std = std::sqrt(sq / static_cast<double>(values.size()));
+  // Sample (N-1) estimator: the paper-style tables report mean +/- std over
+  // a handful of seeds, where Bessel's correction is the convention.
+  out.std = std::sqrt(sq / static_cast<double>(values.size() - 1));
   return out;
 }
 

@@ -20,9 +20,10 @@ double ReciprocalRank(double positive_score,
 /// Mean of per-query reciprocal ranks.
 double MeanReciprocalRank(const std::vector<double>& reciprocal_ranks);
 
-/// Whether the positive ranks within the top k of {positive} ∪ negatives
-/// (ties against the positive count as beating it, the conservative
-/// convention).
+/// Whether the positive's expected rank within {positive} ∪ negatives is at
+/// most k. Ties use the same convention as ReciprocalRank: each tied
+/// negative costs half a rank, so one MRR/Hits@K pipeline scores tied
+/// predictions consistently.
 bool HitsAtK(double positive_score, const std::vector<double>& negative_scores,
              int k);
 
@@ -35,7 +36,7 @@ double MeanHitsAtK(const std::vector<double>& positives,
 double AccuracyAtThreshold(const std::vector<double>& scores,
                            const std::vector<int>& labels, double threshold);
 
-/// Mean and (population) standard deviation over repeated runs; both are 0
+/// Mean and sample (N-1) standard deviation over repeated runs; both are 0
 /// for empty input, std is 0 for a single value.
 struct MeanStd {
   double mean = 0.0;

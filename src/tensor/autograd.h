@@ -6,6 +6,10 @@
 
 #include "tensor/tensor.h"
 
+namespace fedda::core {
+class ThreadPool;
+}  // namespace fedda::core
+
 namespace fedda::tensor {
 
 class Graph;
@@ -70,6 +74,14 @@ class Graph {
   bool training() const { return training_; }
   size_t num_nodes() const { return nodes_.size(); }
 
+  /// Optional compute pool consulted by the op kernels (ops.cc) for row-level
+  /// parallelism in forward and backward passes. Null means sequential. The
+  /// kernels partition work so that every floating-point accumulation order
+  /// matches the sequential path — results are bit-identical for any pool
+  /// size. The pool is borrowed, not owned; it must outlive the graph.
+  void set_pool(core::ThreadPool* pool) { pool_ = pool; }
+  core::ThreadPool* pool() const { return pool_; }
+
  private:
   struct Node {
     Tensor value;
@@ -92,6 +104,7 @@ class Graph {
   std::vector<Node> nodes_;
   bool training_;
   bool backward_done_ = false;
+  core::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace fedda::tensor

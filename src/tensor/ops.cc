@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/thread_pool.h"
+
 namespace fedda::tensor {
 
 namespace {
@@ -12,6 +14,52 @@ bool AnyRequiresGrad(const Graph& g, std::initializer_list<Var> vars) {
     if (g.requires_grad(v)) return true;
   }
   return false;
+}
+
+// Scheduling grains: one chunk must carry enough arithmetic to amortize its
+// enqueue. Elementwise kernels count scalars; row kernels divide a scalar-op
+// budget by the row width.
+constexpr int64_t kElementGrain = 4096;
+constexpr int64_t kRowWorkGrain = 16384;
+
+int64_t RowGrain(int64_t cols) {
+  return std::max<int64_t>(1, kRowWorkGrain / std::max<int64_t>(1, cols));
+}
+
+/// Runs fn(begin, end) over a partition of [0, n), using the graph's pool
+/// when one is attached and inline otherwise.
+void ParallelChunks(const Graph* g, int64_t n, int64_t grain,
+                    const std::function<void(int64_t, int64_t)>& fn) {
+  core::ParallelForRange(g->pool(), n, grain, fn);
+}
+
+/// CSR grouping of positions [0, n) by destination row:
+/// `order[offsets[r] .. offsets[r+1])` lists — in increasing position order —
+/// the positions whose destination is row r. Scatter-style accumulations
+/// parallelize over destination rows with this layout; each destination sums
+/// its contributions in the same order as the sequential loop, so the result
+/// is bit-identical.
+struct RowGroups {
+  std::vector<int64_t> offsets;  // num_rows + 1 entries
+  std::vector<int32_t> order;    // one entry per position
+};
+
+RowGroups GroupByRow(const std::vector<int32_t>& rows, int64_t num_rows) {
+  RowGroups groups;
+  groups.offsets.assign(static_cast<size_t>(num_rows) + 1, 0);
+  for (int32_t r : rows) ++groups.offsets[static_cast<size_t>(r) + 1];
+  for (int64_t r = 0; r < num_rows; ++r) {
+    groups.offsets[static_cast<size_t>(r) + 1] +=
+        groups.offsets[static_cast<size_t>(r)];
+  }
+  groups.order.resize(rows.size());
+  std::vector<int64_t> cursor(groups.offsets.begin(),
+                              groups.offsets.end() - 1);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    groups.order[static_cast<size_t>(
+        cursor[static_cast<size_t>(rows[i])]++)] = static_cast<int32_t>(i);
+  }
+  return groups;
 }
 
 }  // namespace
@@ -57,9 +105,12 @@ Var Mul(Graph* g, Var a, Var b) {
   const Tensor& bv = g->value(b);
   FEDDA_CHECK(av.SameShape(bv));
   Tensor out(av.rows(), av.cols());
-  for (int64_t i = 0; i < av.size(); ++i) {
-    out.data()[i] = av.data()[i] * bv.data()[i];
-  }
+  ParallelChunks(g, av.size(), kElementGrain,
+                 [&out, &av, &bv](int64_t begin, int64_t end) {
+                   for (int64_t i = begin; i < end; ++i) {
+                     out.data()[i] = av.data()[i] * bv.data()[i];
+                   }
+                 });
   const bool rg = AnyRequiresGrad(*g, {a, b});
   return g->AddNode(
       std::move(out), {a, b},
@@ -68,16 +119,22 @@ Var Mul(Graph* g, Var a, Var b) {
         if (g->requires_grad(a)) {
           Tensor& da = g->mutable_grad(a);
           const Tensor& bv = g->value(b);
-          for (int64_t i = 0; i < dy.size(); ++i) {
-            da.data()[i] += dy.data()[i] * bv.data()[i];
-          }
+          ParallelChunks(g, dy.size(), kElementGrain,
+                         [&da, &dy, &bv](int64_t begin, int64_t end) {
+                           for (int64_t i = begin; i < end; ++i) {
+                             da.data()[i] += dy.data()[i] * bv.data()[i];
+                           }
+                         });
         }
         if (g->requires_grad(b)) {
           Tensor& db = g->mutable_grad(b);
           const Tensor& av = g->value(a);
-          for (int64_t i = 0; i < dy.size(); ++i) {
-            db.data()[i] += dy.data()[i] * av.data()[i];
-          }
+          ParallelChunks(g, dy.size(), kElementGrain,
+                         [&db, &dy, &av](int64_t begin, int64_t end) {
+                           for (int64_t i = begin; i < end; ++i) {
+                             db.data()[i] += dy.data()[i] * av.data()[i];
+                           }
+                         });
         }
       },
       rg);
@@ -112,17 +169,19 @@ Var AddScalar(Graph* g, Var a, float alpha) {
 Var MatMul(Graph* g, Var a, Var b) {
   const Tensor& av = g->value(a);
   const Tensor& bv = g->value(b);
-  Tensor out = MatMulValue(av, bv);
+  Tensor out = MatMulValue(av, bv, g->pool());
   const bool rg = AnyRequiresGrad(*g, {a, b});
   return g->AddNode(
       std::move(out), {a, b},
       [a, b](Graph* g, Var self) {
         const Tensor& dy = g->grad(self);
         if (g->requires_grad(a)) {
-          g->mutable_grad(a).Add(MatMulValue(dy, g->value(b).Transposed()));
+          g->mutable_grad(a).Add(
+              MatMulValue(dy, g->value(b).Transposed(), g->pool()));
         }
         if (g->requires_grad(b)) {
-          g->mutable_grad(b).Add(MatMulValue(g->value(a).Transposed(), dy));
+          g->mutable_grad(b).Add(
+              MatMulValue(g->value(a).Transposed(), dy, g->pool()));
         }
       },
       rg);
@@ -160,10 +219,13 @@ Var AddBias(Graph* g, Var a, Var bias) {
 Var LeakyRelu(Graph* g, Var a, float slope) {
   const Tensor& av = g->value(a);
   Tensor out(av.rows(), av.cols());
-  for (int64_t i = 0; i < av.size(); ++i) {
-    const float x = av.data()[i];
-    out.data()[i] = x > 0.0f ? x : slope * x;
-  }
+  ParallelChunks(g, av.size(), kElementGrain,
+                 [&out, &av, slope](int64_t begin, int64_t end) {
+                   for (int64_t i = begin; i < end; ++i) {
+                     const float x = av.data()[i];
+                     out.data()[i] = x > 0.0f ? x : slope * x;
+                   }
+                 });
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
@@ -172,9 +234,14 @@ Var LeakyRelu(Graph* g, Var a, float slope) {
         const Tensor& dy = g->grad(self);
         const Tensor& av = g->value(a);
         Tensor& da = g->mutable_grad(a);
-        for (int64_t i = 0; i < dy.size(); ++i) {
-          da.data()[i] += dy.data()[i] * (av.data()[i] > 0.0f ? 1.0f : slope);
-        }
+        ParallelChunks(g, dy.size(), kElementGrain,
+                       [&da, &dy, &av, slope](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           da.data()[i] +=
+                               dy.data()[i] *
+                               (av.data()[i] > 0.0f ? 1.0f : slope);
+                         }
+                       });
       },
       rg);
 }
@@ -182,10 +249,13 @@ Var LeakyRelu(Graph* g, Var a, float slope) {
 Var Elu(Graph* g, Var a, float alpha) {
   const Tensor& av = g->value(a);
   Tensor out(av.rows(), av.cols());
-  for (int64_t i = 0; i < av.size(); ++i) {
-    const float x = av.data()[i];
-    out.data()[i] = x > 0.0f ? x : alpha * (std::exp(x) - 1.0f);
-  }
+  ParallelChunks(g, av.size(), kElementGrain,
+                 [&out, &av, alpha](int64_t begin, int64_t end) {
+                   for (int64_t i = begin; i < end; ++i) {
+                     const float x = av.data()[i];
+                     out.data()[i] = x > 0.0f ? x : alpha * (std::exp(x) - 1.0f);
+                   }
+                 });
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
@@ -195,12 +265,16 @@ Var Elu(Graph* g, Var a, float alpha) {
         const Tensor& av = g->value(a);
         const Tensor& yv = g->value(self);
         Tensor& da = g->mutable_grad(a);
-        for (int64_t i = 0; i < dy.size(); ++i) {
-          // d/dx elu = 1 for x > 0, else elu(x) + alpha.
-          const float d =
-              av.data()[i] > 0.0f ? 1.0f : yv.data()[i] + alpha;
-          da.data()[i] += dy.data()[i] * d;
-        }
+        ParallelChunks(
+            g, dy.size(), kElementGrain,
+            [&da, &dy, &av, &yv, alpha](int64_t begin, int64_t end) {
+              for (int64_t i = begin; i < end; ++i) {
+                // d/dx elu = 1 for x > 0, else elu(x) + alpha.
+                const float d =
+                    av.data()[i] > 0.0f ? 1.0f : yv.data()[i] + alpha;
+                da.data()[i] += dy.data()[i] * d;
+              }
+            });
       },
       rg);
 }
@@ -208,9 +282,12 @@ Var Elu(Graph* g, Var a, float alpha) {
 Var Sigmoid(Graph* g, Var a) {
   const Tensor& av = g->value(a);
   Tensor out(av.rows(), av.cols());
-  for (int64_t i = 0; i < av.size(); ++i) {
-    out.data()[i] = 1.0f / (1.0f + std::exp(-av.data()[i]));
-  }
+  ParallelChunks(g, av.size(), kElementGrain,
+                 [&out, &av](int64_t begin, int64_t end) {
+                   for (int64_t i = begin; i < end; ++i) {
+                     out.data()[i] = 1.0f / (1.0f + std::exp(-av.data()[i]));
+                   }
+                 });
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
@@ -219,10 +296,13 @@ Var Sigmoid(Graph* g, Var a) {
         const Tensor& dy = g->grad(self);
         const Tensor& yv = g->value(self);
         Tensor& da = g->mutable_grad(a);
-        for (int64_t i = 0; i < dy.size(); ++i) {
-          const float s = yv.data()[i];
-          da.data()[i] += dy.data()[i] * s * (1.0f - s);
-        }
+        ParallelChunks(g, dy.size(), kElementGrain,
+                       [&da, &dy, &yv](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           const float s = yv.data()[i];
+                           da.data()[i] += dy.data()[i] * s * (1.0f - s);
+                         }
+                       });
       },
       rg);
 }
@@ -230,9 +310,12 @@ Var Sigmoid(Graph* g, Var a) {
 Var Tanh(Graph* g, Var a) {
   const Tensor& av = g->value(a);
   Tensor out(av.rows(), av.cols());
-  for (int64_t i = 0; i < av.size(); ++i) {
-    out.data()[i] = std::tanh(av.data()[i]);
-  }
+  ParallelChunks(g, av.size(), kElementGrain,
+                 [&out, &av](int64_t begin, int64_t end) {
+                   for (int64_t i = begin; i < end; ++i) {
+                     out.data()[i] = std::tanh(av.data()[i]);
+                   }
+                 });
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
@@ -241,10 +324,13 @@ Var Tanh(Graph* g, Var a) {
         const Tensor& dy = g->grad(self);
         const Tensor& yv = g->value(self);
         Tensor& da = g->mutable_grad(a);
-        for (int64_t i = 0; i < dy.size(); ++i) {
-          const float t = yv.data()[i];
-          da.data()[i] += dy.data()[i] * (1.0f - t * t);
-        }
+        ParallelChunks(g, dy.size(), kElementGrain,
+                       [&da, &dy, &yv](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           const float t = yv.data()[i];
+                           da.data()[i] += dy.data()[i] * (1.0f - t * t);
+                         }
+                       });
       },
       rg);
 }
@@ -252,9 +338,12 @@ Var Tanh(Graph* g, Var a) {
 Var Exp(Graph* g, Var a) {
   const Tensor& av = g->value(a);
   Tensor out(av.rows(), av.cols());
-  for (int64_t i = 0; i < av.size(); ++i) {
-    out.data()[i] = std::exp(av.data()[i]);
-  }
+  ParallelChunks(g, av.size(), kElementGrain,
+                 [&out, &av](int64_t begin, int64_t end) {
+                   for (int64_t i = begin; i < end; ++i) {
+                     out.data()[i] = std::exp(av.data()[i]);
+                   }
+                 });
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
@@ -263,9 +352,12 @@ Var Exp(Graph* g, Var a) {
         const Tensor& dy = g->grad(self);
         const Tensor& yv = g->value(self);
         Tensor& da = g->mutable_grad(a);
-        for (int64_t i = 0; i < dy.size(); ++i) {
-          da.data()[i] += dy.data()[i] * yv.data()[i];
-        }
+        ParallelChunks(g, dy.size(), kElementGrain,
+                       [&da, &dy, &yv](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           da.data()[i] += dy.data()[i] * yv.data()[i];
+                         }
+                       });
       },
       rg);
 }
@@ -285,9 +377,12 @@ Var Log(Graph* g, Var a) {
         const Tensor& dy = g->grad(self);
         const Tensor& av = g->value(a);
         Tensor& da = g->mutable_grad(a);
-        for (int64_t i = 0; i < dy.size(); ++i) {
-          da.data()[i] += dy.data()[i] / av.data()[i];
-        }
+        ParallelChunks(g, dy.size(), kElementGrain,
+                       [&da, &dy, &av](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           da.data()[i] += dy.data()[i] / av.data()[i];
+                         }
+                       });
       },
       rg);
 }
@@ -331,12 +426,16 @@ Var GatherRows(Graph* g, Var a,
   const Tensor& av = g->value(a);
   const int64_t cols = av.cols();
   Tensor out(static_cast<int64_t>(indices->size()), cols);
-  for (size_t i = 0; i < indices->size(); ++i) {
-    const int32_t r = (*indices)[i];
-    FEDDA_CHECK(r >= 0 && r < av.rows()) << "gather index out of range";
-    std::copy(av.data() + r * cols, av.data() + (r + 1) * cols,
-              out.data() + static_cast<int64_t>(i) * cols);
-  }
+  ParallelChunks(
+      g, static_cast<int64_t>(indices->size()), RowGrain(cols),
+      [&out, &av, &indices, cols](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const int32_t r = (*indices)[static_cast<size_t>(i)];
+          FEDDA_CHECK(r >= 0 && r < av.rows()) << "gather index out of range";
+          std::copy(av.data() + r * cols, av.data() + (r + 1) * cols,
+                    out.data() + i * cols);
+        }
+      });
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
@@ -345,12 +444,33 @@ Var GatherRows(Graph* g, Var a,
         const Tensor& dy = g->grad(self);
         Tensor& da = g->mutable_grad(a);
         const int64_t cols = dy.cols();
-        for (size_t i = 0; i < indices->size(); ++i) {
-          const int32_t r = (*indices)[i];
-          const float* src = dy.data() + static_cast<int64_t>(i) * cols;
-          float* dst = da.data() + r * cols;
-          for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+        if (g->pool() == nullptr) {
+          for (size_t i = 0; i < indices->size(); ++i) {
+            const int32_t r = (*indices)[i];
+            const float* src = dy.data() + static_cast<int64_t>(i) * cols;
+            float* dst = da.data() + r * cols;
+            for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+          }
+          return;
         }
+        // Scatter-add: partition by destination row so workers never race,
+        // and accumulate each destination's contributions in increasing
+        // position order — the sequential loop's order — for bit-identical
+        // floats.
+        const RowGroups groups = GroupByRow(*indices, da.rows());
+        ParallelChunks(
+            g, da.rows(), RowGrain(cols),
+            [&da, &dy, &groups, cols](int64_t begin, int64_t end) {
+              for (int64_t r = begin; r < end; ++r) {
+                float* dst = da.data() + r * cols;
+                for (int64_t p = groups.offsets[static_cast<size_t>(r)];
+                     p < groups.offsets[static_cast<size_t>(r) + 1]; ++p) {
+                  const int64_t i = groups.order[static_cast<size_t>(p)];
+                  const float* src = dy.data() + i * cols;
+                  for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+                }
+              }
+            });
       },
       rg);
 }
@@ -362,12 +482,33 @@ Var ScatterAddRows(Graph* g, Var a,
   FEDDA_CHECK_EQ(av.rows(), static_cast<int64_t>(indices->size()));
   const int64_t cols = av.cols();
   Tensor out(num_rows, cols);
-  for (size_t i = 0; i < indices->size(); ++i) {
-    const int32_t r = (*indices)[i];
+  for (int32_t r : *indices) {
     FEDDA_CHECK(r >= 0 && r < num_rows) << "scatter index out of range";
-    const float* src = av.data() + static_cast<int64_t>(i) * cols;
-    float* dst = out.data() + r * cols;
-    for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+  }
+  if (g->pool() == nullptr) {
+    for (size_t i = 0; i < indices->size(); ++i) {
+      const int32_t r = (*indices)[i];
+      const float* src = av.data() + static_cast<int64_t>(i) * cols;
+      float* dst = out.data() + r * cols;
+      for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+    }
+  } else {
+    // Partition by destination row (see GatherRows' backward): race-free and
+    // bit-identical to the sequential accumulation.
+    const RowGroups groups = GroupByRow(*indices, num_rows);
+    ParallelChunks(
+        g, num_rows, RowGrain(cols),
+        [&out, &av, &groups, cols](int64_t begin, int64_t end) {
+          for (int64_t r = begin; r < end; ++r) {
+            float* dst = out.data() + r * cols;
+            for (int64_t p = groups.offsets[static_cast<size_t>(r)];
+                 p < groups.offsets[static_cast<size_t>(r) + 1]; ++p) {
+              const int64_t i = groups.order[static_cast<size_t>(p)];
+              const float* src = av.data() + i * cols;
+              for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+            }
+          }
+        });
   }
   const bool rg = g->requires_grad(a);
   return g->AddNode(
@@ -377,12 +518,18 @@ Var ScatterAddRows(Graph* g, Var a,
         const Tensor& dy = g->grad(self);
         Tensor& da = g->mutable_grad(a);
         const int64_t cols = dy.cols();
-        for (size_t i = 0; i < indices->size(); ++i) {
-          const int32_t r = (*indices)[i];
-          const float* src = dy.data() + r * cols;
-          float* dst = da.data() + static_cast<int64_t>(i) * cols;
-          for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
-        }
+        // Backward of scatter-add is a gather: output positions are
+        // independent, so chunking over them is race-free.
+        ParallelChunks(
+            g, static_cast<int64_t>(indices->size()), RowGrain(cols),
+            [&da, &dy, &indices, cols](int64_t begin, int64_t end) {
+              for (int64_t i = begin; i < end; ++i) {
+                const int32_t r = (*indices)[static_cast<size_t>(i)];
+                const float* src = dy.data() + r * cols;
+                float* dst = da.data() + i * cols;
+                for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+              }
+            });
       },
       rg);
 }
@@ -394,25 +541,56 @@ Var SegmentSoftmax(Graph* g, Var logits,
   FEDDA_CHECK_EQ(lv.cols(), 1);
   FEDDA_CHECK_EQ(lv.rows(), static_cast<int64_t>(segment_ids->size()));
 
-  // Numerically stable: shift each segment by its max.
-  std::vector<float> seg_max(static_cast<size_t>(num_segments),
-                             -std::numeric_limits<float>::infinity());
-  for (size_t i = 0; i < segment_ids->size(); ++i) {
-    const int32_t s = (*segment_ids)[i];
+  for (int32_t s : *segment_ids) {
     FEDDA_CHECK(s >= 0 && s < num_segments) << "segment id out of range";
-    seg_max[s] = std::max(seg_max[s], lv.data()[i]);
   }
-  std::vector<float> seg_sum(static_cast<size_t>(num_segments), 0.0f);
   Tensor out(lv.rows(), 1);
-  for (size_t i = 0; i < segment_ids->size(); ++i) {
-    const int32_t s = (*segment_ids)[i];
-    const float e = std::exp(lv.data()[i] - seg_max[s]);
-    out.data()[i] = e;
-    seg_sum[s] += e;
-  }
-  for (size_t i = 0; i < segment_ids->size(); ++i) {
-    const int32_t s = (*segment_ids)[i];
-    out.data()[i] /= seg_sum[s];
+  if (g->pool() == nullptr) {
+    // Numerically stable: shift each segment by its max.
+    std::vector<float> seg_max(static_cast<size_t>(num_segments),
+                               -std::numeric_limits<float>::infinity());
+    for (size_t i = 0; i < segment_ids->size(); ++i) {
+      const int32_t s = (*segment_ids)[i];
+      seg_max[s] = std::max(seg_max[s], lv.data()[i]);
+    }
+    std::vector<float> seg_sum(static_cast<size_t>(num_segments), 0.0f);
+    for (size_t i = 0; i < segment_ids->size(); ++i) {
+      const int32_t s = (*segment_ids)[i];
+      const float e = std::exp(lv.data()[i] - seg_max[s]);
+      out.data()[i] = e;
+      seg_sum[s] += e;
+    }
+    for (size_t i = 0; i < segment_ids->size(); ++i) {
+      const int32_t s = (*segment_ids)[i];
+      out.data()[i] /= seg_sum[s];
+    }
+  } else {
+    // Partition by segment: each segment's max/sum accumulate over members
+    // in increasing position order, exactly as the sequential path.
+    const RowGroups groups = GroupByRow(*segment_ids, num_segments);
+    ParallelChunks(
+        g, num_segments, /*grain=*/16,
+        [&out, &lv, &groups](int64_t begin, int64_t end) {
+          for (int64_t s = begin; s < end; ++s) {
+            const int64_t lo = groups.offsets[static_cast<size_t>(s)];
+            const int64_t hi = groups.offsets[static_cast<size_t>(s) + 1];
+            float seg_max = -std::numeric_limits<float>::infinity();
+            for (int64_t p = lo; p < hi; ++p) {
+              seg_max = std::max(
+                  seg_max, lv.data()[groups.order[static_cast<size_t>(p)]]);
+            }
+            float seg_sum = 0.0f;
+            for (int64_t p = lo; p < hi; ++p) {
+              const int64_t i = groups.order[static_cast<size_t>(p)];
+              const float e = std::exp(lv.data()[i] - seg_max);
+              out.data()[i] = e;
+              seg_sum += e;
+            }
+            for (int64_t p = lo; p < hi; ++p) {
+              out.data()[groups.order[static_cast<size_t>(p)]] /= seg_sum;
+            }
+          }
+        });
   }
 
   const bool rg = g->requires_grad(logits);
@@ -424,14 +602,35 @@ Var SegmentSoftmax(Graph* g, Var logits,
         const Tensor& yv = g->value(self);
         Tensor& dl = g->mutable_grad(logits);
         // d l_i = y_i * (dy_i - sum_{j in seg(i)} y_j dy_j)
-        std::vector<float> seg_dot(static_cast<size_t>(num_segments), 0.0f);
-        for (size_t i = 0; i < segment_ids->size(); ++i) {
-          seg_dot[(*segment_ids)[i]] += yv.data()[i] * dy.data()[i];
+        if (g->pool() == nullptr) {
+          std::vector<float> seg_dot(static_cast<size_t>(num_segments), 0.0f);
+          for (size_t i = 0; i < segment_ids->size(); ++i) {
+            seg_dot[(*segment_ids)[i]] += yv.data()[i] * dy.data()[i];
+          }
+          for (size_t i = 0; i < segment_ids->size(); ++i) {
+            const int32_t s = (*segment_ids)[i];
+            dl.data()[i] += yv.data()[i] * (dy.data()[i] - seg_dot[s]);
+          }
+          return;
         }
-        for (size_t i = 0; i < segment_ids->size(); ++i) {
-          const int32_t s = (*segment_ids)[i];
-          dl.data()[i] += yv.data()[i] * (dy.data()[i] - seg_dot[s]);
-        }
+        const RowGroups groups = GroupByRow(*segment_ids, num_segments);
+        ParallelChunks(
+            g, num_segments, /*grain=*/16,
+            [&dl, &dy, &yv, &groups](int64_t begin, int64_t end) {
+              for (int64_t s = begin; s < end; ++s) {
+                const int64_t lo = groups.offsets[static_cast<size_t>(s)];
+                const int64_t hi = groups.offsets[static_cast<size_t>(s) + 1];
+                float seg_dot = 0.0f;
+                for (int64_t p = lo; p < hi; ++p) {
+                  const int64_t i = groups.order[static_cast<size_t>(p)];
+                  seg_dot += yv.data()[i] * dy.data()[i];
+                }
+                for (int64_t p = lo; p < hi; ++p) {
+                  const int64_t i = groups.order[static_cast<size_t>(p)];
+                  dl.data()[i] += yv.data()[i] * (dy.data()[i] - seg_dot);
+                }
+              }
+            });
       },
       rg);
 }
@@ -522,16 +721,20 @@ Var RowL2Normalize(Graph* g, Var a, float eps) {
   Tensor out(rows, cols);
   auto norms = std::make_shared<std::vector<float>>(
       static_cast<size_t>(rows), 0.0f);
-  for (int64_t r = 0; r < rows; ++r) {
-    double sq = 0.0;
-    for (int64_t c = 0; c < cols; ++c) {
-      const float x = av.at(r, c);
-      sq += static_cast<double>(x) * x;
-    }
-    const float n = std::max(static_cast<float>(std::sqrt(sq)), eps);
-    (*norms)[static_cast<size_t>(r)] = n;
-    for (int64_t c = 0; c < cols; ++c) out.at(r, c) = av.at(r, c) / n;
-  }
+  ParallelChunks(
+      g, rows, RowGrain(cols),
+      [&out, &av, &norms, cols, eps](int64_t begin, int64_t end) {
+        for (int64_t r = begin; r < end; ++r) {
+          double sq = 0.0;
+          for (int64_t c = 0; c < cols; ++c) {
+            const float x = av.at(r, c);
+            sq += static_cast<double>(x) * x;
+          }
+          const float n = std::max(static_cast<float>(std::sqrt(sq)), eps);
+          (*norms)[static_cast<size_t>(r)] = n;
+          for (int64_t c = 0; c < cols; ++c) out.at(r, c) = av.at(r, c) / n;
+        }
+      });
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
@@ -541,15 +744,21 @@ Var RowL2Normalize(Graph* g, Var a, float eps) {
         const Tensor& yv = g->value(self);
         Tensor& da = g->mutable_grad(a);
         const int64_t rows = dy.rows(), cols = dy.cols();
-        for (int64_t r = 0; r < rows; ++r) {
-          // da_r = (dy_r - y_r * (y_r . dy_r)) / ||a_r||
-          float dot = 0.0f;
-          for (int64_t c = 0; c < cols; ++c) dot += yv.at(r, c) * dy.at(r, c);
-          const float inv_n = 1.0f / (*norms)[static_cast<size_t>(r)];
-          for (int64_t c = 0; c < cols; ++c) {
-            da.at(r, c) += (dy.at(r, c) - yv.at(r, c) * dot) * inv_n;
-          }
-        }
+        ParallelChunks(
+            g, rows, RowGrain(cols),
+            [&da, &dy, &yv, &norms, cols](int64_t begin, int64_t end) {
+              for (int64_t r = begin; r < end; ++r) {
+                // da_r = (dy_r - y_r * (y_r . dy_r)) / ||a_r||
+                float dot = 0.0f;
+                for (int64_t c = 0; c < cols; ++c) {
+                  dot += yv.at(r, c) * dy.at(r, c);
+                }
+                const float inv_n = 1.0f / (*norms)[static_cast<size_t>(r)];
+                for (int64_t c = 0; c < cols; ++c) {
+                  da.at(r, c) += (dy.at(r, c) - yv.at(r, c) * dot) * inv_n;
+                }
+              }
+            });
       },
       rg);
 }
@@ -559,11 +768,16 @@ Var RowDot(Graph* g, Var a, Var b) {
   const Tensor& bv = g->value(b);
   FEDDA_CHECK(av.SameShape(bv));
   Tensor out(av.rows(), 1);
-  for (int64_t r = 0; r < av.rows(); ++r) {
-    float dot = 0.0f;
-    for (int64_t c = 0; c < av.cols(); ++c) dot += av.at(r, c) * bv.at(r, c);
-    out.at(r, 0) = dot;
-  }
+  ParallelChunks(g, av.rows(), RowGrain(av.cols()),
+                 [&out, &av, &bv](int64_t begin, int64_t end) {
+                   for (int64_t r = begin; r < end; ++r) {
+                     float dot = 0.0f;
+                     for (int64_t c = 0; c < av.cols(); ++c) {
+                       dot += av.at(r, c) * bv.at(r, c);
+                     }
+                     out.at(r, 0) = dot;
+                   }
+                 });
   const bool rg = AnyRequiresGrad(*g, {a, b});
   return g->AddNode(
       std::move(out), {a, b},
@@ -599,10 +813,15 @@ Var RowScale(Graph* g, Var a, Var s) {
   FEDDA_CHECK_EQ(sv.cols(), 1);
   FEDDA_CHECK_EQ(sv.rows(), av.rows());
   Tensor out(av.rows(), av.cols());
-  for (int64_t r = 0; r < av.rows(); ++r) {
-    const float f = sv.at(r, 0);
-    for (int64_t c = 0; c < av.cols(); ++c) out.at(r, c) = f * av.at(r, c);
-  }
+  ParallelChunks(g, av.rows(), RowGrain(av.cols()),
+                 [&out, &av, &sv](int64_t begin, int64_t end) {
+                   for (int64_t r = begin; r < end; ++r) {
+                     const float f = sv.at(r, 0);
+                     for (int64_t c = 0; c < av.cols(); ++c) {
+                       out.at(r, c) = f * av.at(r, c);
+                     }
+                   }
+                 });
   const bool rg = AnyRequiresGrad(*g, {a, s});
   return g->AddNode(
       std::move(out), {a, s},

@@ -1,8 +1,10 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/string_util.h"
+#include "core/thread_pool.h"
 
 namespace fedda::tensor {
 
@@ -167,23 +169,31 @@ std::string Tensor::ToString() const {
   return out;
 }
 
-Tensor MatMulValue(const Tensor& a, const Tensor& b) {
+Tensor MatMulValue(const Tensor& a, const Tensor& b, core::ThreadPool* pool) {
   FEDDA_CHECK_EQ(a.cols(), b.rows());
   Tensor out(a.rows(), b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out.data();
-  // i-k-j loop order: streams through B rows, cache-friendly for row-major.
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aval = ad[i * k + kk];
-      if (aval == 0.0f) continue;
-      const float* brow = bd + kk * n;
-      float* orow = od + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += aval * brow[j];
+  // Output rows are independent, so parallelizing over them preserves each
+  // row's accumulation order exactly. Grain sized so a chunk carries at
+  // least ~16k multiply-adds, amortizing scheduling overhead.
+  const int64_t grain =
+      std::max<int64_t>(1, 16384 / std::max<int64_t>(1, k * n));
+  core::ParallelForRange(pool, m, grain, [=](int64_t row_begin,
+                                             int64_t row_end) {
+    // i-k-j loop order: streams through B rows, cache-friendly for row-major.
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aval = ad[i * k + kk];
+        if (aval == 0.0f) continue;
+        const float* brow = bd + kk * n;
+        float* orow = od + i * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += aval * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 

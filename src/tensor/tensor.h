@@ -8,6 +8,10 @@
 #include "core/check.h"
 #include "core/rng.h"
 
+namespace fedda::core {
+class ThreadPool;
+}  // namespace fedda::core
+
 namespace fedda::tensor {
 
 /// Dense 2-D row-major float32 matrix.
@@ -132,8 +136,11 @@ class Tensor {
   std::vector<float> data_;
 };
 
-/// C = A * B. Shapes: (m x k) * (k x n) -> (m x n).
-Tensor MatMulValue(const Tensor& a, const Tensor& b);
+/// C = A * B. Shapes: (m x k) * (k x n) -> (m x n). When `pool` is non-null
+/// the output rows are computed in parallel; each row's accumulation order is
+/// unchanged, so the result is bit-identical to the sequential path.
+Tensor MatMulValue(const Tensor& a, const Tensor& b,
+                   core::ThreadPool* pool = nullptr);
 
 }  // namespace fedda::tensor
 

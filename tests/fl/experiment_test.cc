@@ -1,5 +1,7 @@
 #include "fl/experiment.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace fedda::fl {
@@ -139,7 +141,8 @@ TEST(SummarizeTest, AggregatesAcrossRuns) {
 
   const RepeatedSummary summary = Summarize({r1, r2});
   EXPECT_DOUBLE_EQ(summary.final_auc.mean, 0.6);
-  EXPECT_DOUBLE_EQ(summary.final_auc.std, 0.1);
+  // Sample std over {0.7, 0.5}: sqrt(2 * 0.1^2 / 1).
+  EXPECT_DOUBLE_EQ(summary.final_auc.std, std::sqrt(0.02));
   EXPECT_DOUBLE_EQ(summary.final_mrr.mean, 0.8);
   EXPECT_DOUBLE_EQ(summary.mean_total_uplink_groups, 150.0);
   ASSERT_EQ(summary.mean_auc_per_round.size(), 2u);

@@ -7,11 +7,13 @@ namespace {
 
 FlRunResult MakeRun() {
   FlRunResult result;
-  // Round 0: 4 participants, 4000 scalars total uplink (1000 each).
+  // Round 0: 4 participants, 4000 scalars total uplink, slowest sent 1000
+  // (uniform masks: max == mean).
   RoundRecord r0;
   r0.round = 0;
   r0.participants = 4;
   r0.uplink_scalars = 4000;
+  r0.max_uplink_scalars = 1000;
   r0.auc = 0.6;
   result.history.push_back(r0);
   // Round 1: everyone failed.
@@ -21,11 +23,13 @@ FlRunResult MakeRun() {
   r1.uplink_scalars = 0;
   r1.auc = 0.6;
   result.history.push_back(r1);
-  // Round 2: 2 participants, 1000 scalars total (500 each; FedDA masking).
+  // Round 2: 2 participants, 1000 scalars total; FedDA masking is skewed —
+  // the straggler carried 800 of them.
   RoundRecord r2;
   r2.round = 2;
   r2.participants = 2;
   r2.uplink_scalars = 1000;
+  r2.max_uplink_scalars = 800;
   r2.auc = 0.75;
   result.history.push_back(r2);
   return result;
@@ -46,19 +50,48 @@ TEST(NetworkTest, PerRoundTimingMatchesHandComputation) {
   const auto timing = SimulateTiming(run, SimpleModel(), /*model_scalars=*/
                                      2000, /*local_epochs=*/1);
   ASSERT_EQ(timing.size(), 3u);
-  // Round 0: 1 (latency) + 2000/2000 (down) + 2 (compute) + 1000/1000 (up).
+  // Round 0: 1 (latency) + 2000/2000 (down) + 2 (compute) + 1000/1000
+  // (straggler uplink).
   EXPECT_DOUBLE_EQ(timing[0].round_sec, 1.0 + 1.0 + 2.0 + 1.0);
   // Round 1: all failed -> latency only.
   EXPECT_DOUBLE_EQ(timing[1].round_sec, 1.0);
-  // Round 2: 1 + 1 + 2 + 500/1000.
-  EXPECT_DOUBLE_EQ(timing[2].round_sec, 4.5);
-  EXPECT_DOUBLE_EQ(timing[2].cumulative_sec, 5.0 + 1.0 + 4.5);
+  // Round 2: 1 + 1 + 2 + 800/1000 — the straggler's 800 scalars, not the
+  // 500-scalar mean.
+  EXPECT_DOUBLE_EQ(timing[2].round_sec, 4.8);
+  EXPECT_DOUBLE_EQ(timing[2].cumulative_sec, 5.0 + 1.0 + 4.8);
+}
+
+TEST(NetworkTest, StragglerDominatesSkewedRounds) {
+  // Same total uplink, different skew: the straggler-heavy run is slower.
+  FlRunResult uniform = MakeRun();
+  uniform.history[2].max_uplink_scalars = 500;  // perfectly balanced
+  FlRunResult skewed = MakeRun();               // straggler sent 800
+  const NetworkModel model = SimpleModel();
+  const auto t_uniform = SimulateTiming(uniform, model, 2000, 1);
+  const auto t_skewed = SimulateTiming(skewed, model, 2000, 1);
+  EXPECT_EQ(uniform.history[2].uplink_scalars,
+            skewed.history[2].uplink_scalars);
+  EXPECT_LT(t_uniform[2].round_sec, t_skewed[2].round_sec);
+  // Balanced masks: straggler accounting equals the old mean accounting.
+  EXPECT_DOUBLE_EQ(t_uniform[2].round_sec, 4.5);
+}
+
+TEST(NetworkTest, LegacyRecordsFallBackToMeanUplink) {
+  // Histories recorded before max_uplink_scalars existed carry max == 0;
+  // the model then charges the per-participant mean instead of nothing.
+  FlRunResult legacy = MakeRun();
+  legacy.history[0].max_uplink_scalars = 0;
+  legacy.history[2].max_uplink_scalars = 0;
+  const auto timing = SimulateTiming(legacy, SimpleModel(), 2000, 1);
+  EXPECT_DOUBLE_EQ(timing[0].round_sec, 5.0);  // mean = 1000 scalars
+  EXPECT_DOUBLE_EQ(timing[2].round_sec, 4.5);  // mean = 500 scalars
 }
 
 TEST(NetworkTest, FewerTransmittedScalarsMeansFasterRounds) {
   FlRunResult fedavg = MakeRun();
   FlRunResult fedda = MakeRun();
   fedda.history[0].uplink_scalars = 2000;  // half the uplink
+  fedda.history[0].max_uplink_scalars = 500;
   const NetworkModel model = SimpleModel();
   const auto t_avg = SimulateTiming(fedavg, model, 2000, 1);
   const auto t_da = SimulateTiming(fedda, model, 2000, 1);

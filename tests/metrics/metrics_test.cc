@@ -1,5 +1,7 @@
 #include "metrics/metrics.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "core/rng.h"
@@ -85,9 +87,34 @@ TEST(HitsAtKTest, RankBoundaries) {
   EXPECT_TRUE(HitsAtK(0.1, negatives, 4));
 }
 
-TEST(HitsAtKTest, TiesCountAgainstThePositive) {
+TEST(HitsAtKTest, TiesCostHalfARank) {
+  // One tie: expected rank 1.5 — misses k=1, makes k=2.
   EXPECT_FALSE(HitsAtK(0.5, {0.5}, 1));
   EXPECT_TRUE(HitsAtK(0.5, {0.5}, 2));
+  // Two ties: expected rank 2.0 — exactly makes k=2. (The old >= counting
+  // charged both ties a full rank and wrongly missed here.)
+  EXPECT_FALSE(HitsAtK(0.5, {0.5, 0.5}, 1));
+  EXPECT_TRUE(HitsAtK(0.5, {0.5, 0.5}, 2));
+  // Three ties: expected rank 2.5.
+  EXPECT_FALSE(HitsAtK(0.5, {0.5, 0.5, 0.5}, 2));
+  EXPECT_TRUE(HitsAtK(0.5, {0.5, 0.5, 0.5}, 3));
+  // Mixed: one strictly higher negative + two ties -> rank 3.0.
+  EXPECT_FALSE(HitsAtK(0.5, {0.9, 0.5, 0.5, 0.1}, 2));
+  EXPECT_TRUE(HitsAtK(0.5, {0.9, 0.5, 0.5, 0.1}, 3));
+}
+
+TEST(HitsAtKTest, AgreesWithReciprocalRankOnTies) {
+  // Same expected-rank convention as ReciprocalRank: a hit at k iff the
+  // reciprocal rank is at least 1/k.
+  const std::vector<std::vector<double>> candidate_lists = {
+      {0.5}, {0.5, 0.5}, {0.9, 0.5}, {0.9, 0.5, 0.5, 0.1}, {0.1, 0.1}};
+  for (const auto& negatives : candidate_lists) {
+    const double rank = 1.0 / ReciprocalRank(0.5, negatives);
+    for (int k = 1; k <= 5; ++k) {
+      EXPECT_EQ(HitsAtK(0.5, negatives, k), rank <= static_cast<double>(k))
+          << "k=" << k << " rank=" << rank;
+    }
+  }
 }
 
 TEST(HitsAtKTest, EmptyNegativesAlwaysHit) {
@@ -109,9 +136,16 @@ TEST(AccuracyTest, ThresholdClassification) {
 }
 
 TEST(MeanStdTest, KnownValues) {
+  // Sample (N-1) estimator: squared deviations sum to 32 over 8 values.
   const MeanStd ms = ComputeMeanStd({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
   EXPECT_DOUBLE_EQ(ms.mean, 5.0);
-  EXPECT_DOUBLE_EQ(ms.std, 2.0);
+  EXPECT_DOUBLE_EQ(ms.std, std::sqrt(32.0 / 7.0));
+}
+
+TEST(MeanStdTest, TwoValues) {
+  const MeanStd ms = ComputeMeanStd({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 2.0);
+  EXPECT_DOUBLE_EQ(ms.std, std::sqrt(2.0));
 }
 
 TEST(MeanStdTest, DegenerateInputs) {

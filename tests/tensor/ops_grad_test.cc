@@ -1,8 +1,10 @@
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "tensor/ops.h"
 #include "tests/tensor/grad_check.h"
 
@@ -400,6 +402,80 @@ TEST(OpsGradTest, CompositeAttentionLikeExpression) {
         return Sum(g, Mul(g, out, out));
       },
       /*eps=*/5e-3f, /*tolerance=*/3e-2f);
+}
+
+// ---------------------------------------------------------------------------
+// Pooled kernels must match the sequential path bit-for-bit.
+
+struct ForwardBackwardResult {
+  float loss = 0.0f;
+  std::vector<Tensor> grads;
+};
+
+// Runs the attention-like expression forward + backward with `pool` attached
+// to the graph. Sizes are chosen to cross every kernel's chunking grain:
+// elementwise (4096 scalars), matmul rows, gather/scatter rows, and segment
+// softmax (>16 segments), so the parallel code paths actually execute.
+ForwardBackwardResult RunAttentionExpression(core::ThreadPool* pool) {
+  constexpr int kNodes = 200;
+  constexpr int kEdges = 3000;
+  constexpr int kDim = 8;
+  const Tensor h = RandomTensor(kNodes, kDim, 41);
+  const Tensor w = RandomTensor(kDim, kDim, 42);
+  const Tensor attn = RandomTensor(kDim, 1, 43);
+  core::Rng idx_rng(44);
+  std::vector<int32_t> src_idx(kEdges), dst_idx(kEdges);
+  for (int e = 0; e < kEdges; ++e) {
+    src_idx[static_cast<size_t>(e)] =
+        static_cast<int32_t>(idx_rng.UniformInt(kNodes));
+    dst_idx[static_cast<size_t>(e)] =
+        static_cast<int32_t>(idx_rng.UniformInt(kNodes));
+  }
+  auto src = MakeIndices(src_idx);
+  auto dst = MakeIndices(dst_idx);
+
+  ForwardBackwardResult result;
+  result.grads.emplace_back(kNodes, kDim);
+  result.grads.emplace_back(kDim, kDim);
+  result.grads.emplace_back(kDim, 1);
+  Graph g(/*training=*/true);
+  g.set_pool(pool);
+  Var vh = g.Leaf(h, &result.grads[0]);
+  Var vw = g.Leaf(w, &result.grads[1]);
+  Var va = g.Leaf(attn, &result.grads[2]);
+  Var wh = MatMul(&g, vh, vw);
+  Var scores = MatMul(&g, wh, va);
+  Var logits = Add(&g, GatherRows(&g, scores, src),
+                   GatherRows(&g, scores, dst));
+  Var alpha = SegmentSoftmax(&g, LeakyRelu(&g, logits, 0.2f), dst, kNodes);
+  Var msg = RowScale(&g, GatherRows(&g, wh, src), alpha);
+  Var agg = ScatterAddRows(&g, msg, dst, kNodes);
+  Var out = RowL2Normalize(&g, Elu(&g, agg));
+  Var loss = Sum(&g, Mul(&g, out, out));
+  result.loss = g.value(loss).at(0, 0);
+  g.Backward(loss);
+  return result;
+}
+
+TEST(OpsPooledTest, PooledKernelsBitIdenticalToSequential) {
+  const ForwardBackwardResult sequential = RunAttentionExpression(nullptr);
+  for (int workers : {1, 4}) {
+    core::ThreadPool pool(workers);
+    const ForwardBackwardResult pooled = RunAttentionExpression(&pool);
+    // Exact float equality: the kernels partition work so every accumulation
+    // happens in the same order as the sequential loop.
+    EXPECT_EQ(sequential.loss, pooled.loss) << "workers=" << workers;
+    ASSERT_EQ(sequential.grads.size(), pooled.grads.size());
+    for (size_t i = 0; i < sequential.grads.size(); ++i) {
+      const Tensor& a = sequential.grads[i];
+      const Tensor& b = pooled.grads[i];
+      ASSERT_EQ(a.size(), b.size());
+      for (int64_t k = 0; k < a.size(); ++k) {
+        ASSERT_EQ(a.data()[k], b.data()[k])
+            << "workers=" << workers << " grad " << i << " scalar " << k;
+      }
+    }
+  }
 }
 
 }  // namespace
