@@ -2,8 +2,10 @@
 // accounting through a simulated network model (uplink-bound clients) and
 // reports simulated time-to-accuracy. Synchronous rounds end when the
 // slowest participant finishes uploading, so SimulateTiming charges the
-// straggler's (max) uplink scalars, not the per-participant mean — FedDA's
-// thinner uplink still shortens rounds unless its masks are badly skewed.
+// straggler's (max) measured uplink bytes, not the per-participant mean —
+// FedDA's thinner uplink still shortens rounds unless its masks are badly
+// skewed. Rounds are charged off real fl/wire.h payload sizes in both
+// directions; the per-direction byte totals are reported alongside time.
 
 #include <iostream>
 
@@ -41,11 +43,13 @@ int Main(int argc, char** argv) {
   network.uplink_bytes_per_sec = uplink_kbps * 1000.0;
   network.downlink_bytes_per_sec = 4.0 * network.uplink_bytes_per_sec;
 
-  core::TablePrinter table({"Framework", "Final AUC", "Sim. total time (s)",
-                            "Time to target (s)", "vs FedAvg"});
+  core::TablePrinter table({"Framework", "Final AUC", "Up kB", "Down kB",
+                            "Sim. total time (s)", "Time to target (s)",
+                            "vs FedAvg"});
   core::CsvWriter csv;
   FEDDA_CHECK_OK(csv.Open(OutputPath(flags, "time_to_accuracy.csv"),
-                          {"framework", "final_auc", "total_sec",
+                          {"framework", "final_auc", "uplink_bytes",
+                           "downlink_bytes", "total_sec",
                            "time_to_target_sec"}));
 
   struct Row {
@@ -81,11 +85,17 @@ int Main(int argc, char** argv) {
             ? core::StrFormat("%.0f%%", 100.0 * tta / fedavg_time)
             : "-";
     table.AddRow({row.name, core::FormatDouble(row.run.final_auc, 4),
+                  core::FormatWithCommas(
+                      static_cast<int64_t>(row.run.total_uplink_bytes / 1024)),
+                  core::FormatWithCommas(static_cast<int64_t>(
+                      row.run.total_downlink_bytes / 1024)),
                   core::FormatDouble(row.timing.back().cumulative_sec, 1),
                   tta < 0 ? "not reached" : core::FormatDouble(tta, 1),
                   speedup});
     csv.WriteRow(std::vector<std::string>{
         row.name, core::FormatDouble(row.run.final_auc, 6),
+        std::to_string(row.run.total_uplink_bytes),
+        std::to_string(row.run.total_downlink_bytes),
         core::FormatDouble(row.timing.back().cumulative_sec, 3),
         core::FormatDouble(tta, 3)});
   }
@@ -95,10 +105,11 @@ int Main(int argc, char** argv) {
             << uplink_kbps << " kB/s, " << flags.dataset << ", M="
             << num_clients << ") ===\n";
   table.Print();
-  std::cout << "\nRounds are charged at the slowest participant's uplink. "
-               "FedDA lowers the MEAN\nuplink 20-40%, but its round time only "
-               "drops when the per-client masks also\nthin the straggler — "
-               "compare the 'Straggler scalars' column of Table 3.\n";
+  std::cout << "\nRounds are charged at the slowest participant's measured "
+               "wire bytes. FedDA\nlowers the MEAN uplink 20-40%, but its "
+               "round time only drops when the\nper-client masks also thin "
+               "the straggler — compare the 'Straggler scalars'\ncolumn of "
+               "Table 3. 'Up/Down kB' are total measured payload bytes.\n";
   return 0;
 }
 

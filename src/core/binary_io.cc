@@ -1,5 +1,7 @@
 #include "core/binary_io.h"
 
+#include <cstring>
+
 namespace fedda::core {
 
 namespace {
@@ -25,6 +27,9 @@ void BinaryWriter::WriteU32(uint32_t value) { WriteRaw(&value, sizeof(value)); }
 void BinaryWriter::WriteU64(uint64_t value) { WriteRaw(&value, sizeof(value)); }
 void BinaryWriter::WriteI64(int64_t value) { WriteRaw(&value, sizeof(value)); }
 void BinaryWriter::WriteFloat(float value) { WriteRaw(&value, sizeof(value)); }
+void BinaryWriter::WriteDouble(double value) {
+  WriteRaw(&value, sizeof(value));
+}
 
 void BinaryWriter::WriteString(const std::string& value) {
   WriteU32(static_cast<uint32_t>(value.size()));
@@ -33,6 +38,10 @@ void BinaryWriter::WriteString(const std::string& value) {
 
 void BinaryWriter::WriteFloats(const std::vector<float>& values) {
   WriteRaw(values.data(), values.size() * sizeof(float));
+}
+
+void BinaryWriter::WriteBytes(const std::vector<uint8_t>& bytes) {
+  WriteRaw(bytes.data(), bytes.size());
 }
 
 Status BinaryWriter::Close() {
@@ -86,6 +95,12 @@ float BinaryReader::ReadFloat() {
   return value;
 }
 
+double BinaryReader::ReadDouble() {
+  double value = 0.0;
+  ReadRaw(&value, sizeof(value));
+  return value;
+}
+
 std::string BinaryReader::ReadString() {
   const uint32_t length = ReadU32();
   if (!status_.ok()) return {};
@@ -104,9 +119,120 @@ std::vector<float> BinaryReader::ReadFloats(size_t count) {
   return values;
 }
 
+std::vector<uint8_t> BinaryReader::ReadBytes(size_t count) {
+  std::vector<uint8_t> bytes(count, 0);
+  ReadRaw(bytes.data(), count);
+  return bytes;
+}
+
 bool BinaryReader::AtEof() {
   if (!status_.ok()) return false;
   return in_.peek() == std::char_traits<char>::eof();
+}
+
+void ByteWriter::WriteRaw(const void* data, size_t size) {
+  const uint8_t* begin = static_cast<const uint8_t*>(data);
+  buffer_.insert(buffer_.end(), begin, begin + size);
+}
+
+void ByteWriter::WriteU8(uint8_t value) { WriteRaw(&value, sizeof(value)); }
+void ByteWriter::WriteU32(uint32_t value) { WriteRaw(&value, sizeof(value)); }
+void ByteWriter::WriteU64(uint64_t value) { WriteRaw(&value, sizeof(value)); }
+void ByteWriter::WriteI64(int64_t value) { WriteRaw(&value, sizeof(value)); }
+void ByteWriter::WriteFloat(float value) { WriteRaw(&value, sizeof(value)); }
+void ByteWriter::WriteDouble(double value) { WriteRaw(&value, sizeof(value)); }
+
+void ByteWriter::WriteString(const std::string& value) {
+  WriteU32(static_cast<uint32_t>(value.size()));
+  WriteRaw(value.data(), value.size());
+}
+
+void ByteWriter::WriteFloats(const std::vector<float>& values) {
+  WriteRaw(values.data(), values.size() * sizeof(float));
+}
+
+void ByteWriter::WriteBytes(const std::vector<uint8_t>& bytes) {
+  WriteRaw(bytes.data(), bytes.size());
+}
+
+void ByteReader::ReadRaw(void* data, size_t size) {
+  if (!status_.ok()) return;
+  if (size > size_ - pos_) {
+    status_ = Status::IoError("unexpected end of payload");
+    return;
+  }
+  std::memcpy(data, data_ + pos_, size);
+  pos_ += size;
+}
+
+uint8_t ByteReader::ReadU8() {
+  uint8_t value = 0;
+  ReadRaw(&value, sizeof(value));
+  return value;
+}
+
+uint32_t ByteReader::ReadU32() {
+  uint32_t value = 0;
+  ReadRaw(&value, sizeof(value));
+  return value;
+}
+
+uint64_t ByteReader::ReadU64() {
+  uint64_t value = 0;
+  ReadRaw(&value, sizeof(value));
+  return value;
+}
+
+int64_t ByteReader::ReadI64() {
+  int64_t value = 0;
+  ReadRaw(&value, sizeof(value));
+  return value;
+}
+
+float ByteReader::ReadFloat() {
+  float value = 0.0f;
+  ReadRaw(&value, sizeof(value));
+  return value;
+}
+
+double ByteReader::ReadDouble() {
+  double value = 0.0;
+  ReadRaw(&value, sizeof(value));
+  return value;
+}
+
+std::string ByteReader::ReadString() {
+  const uint32_t length = ReadU32();
+  if (!status_.ok()) return {};
+  if (length > kMaxStringLength || length > remaining()) {
+    status_ = Status::IoError("string length implausible (corrupt payload?)");
+    return {};
+  }
+  std::string value(length, '\0');
+  ReadRaw(value.data(), length);
+  return value;
+}
+
+std::vector<float> ByteReader::ReadFloats(size_t count) {
+  if (!status_.ok()) return {};
+  if (count > remaining() / sizeof(float)) {
+    status_ = Status::IoError("float block exceeds payload");
+    return {};
+  }
+  std::vector<float> values(count, 0.0f);
+  ReadRaw(values.data(), count * sizeof(float));
+  return values;
+}
+
+std::vector<uint8_t> ByteReader::ReadBytes(size_t count) {
+  if (!status_.ok()) return {};
+  if (count > remaining()) {
+    status_ = Status::IoError("byte block exceeds payload");
+    return {};
+  }
+  std::vector<uint8_t> bytes(count, 0);
+  ReadRaw(bytes.data(), count);
+  return bytes;
 }
 
 }  // namespace fedda::core

@@ -27,10 +27,13 @@ class BinaryWriter {
   void WriteU64(uint64_t value);
   void WriteI64(int64_t value);
   void WriteFloat(float value);
+  void WriteDouble(double value);
   /// Length-prefixed UTF-8 string.
   void WriteString(const std::string& value);
   /// Raw float block (no length prefix; callers write the count first).
   void WriteFloats(const std::vector<float>& values);
+  /// Raw byte block (no length prefix; callers write the count first).
+  void WriteBytes(const std::vector<uint8_t>& bytes);
 
   const Status& status() const { return status_; }
 
@@ -58,9 +61,12 @@ class BinaryReader {
   uint64_t ReadU64();
   int64_t ReadI64();
   float ReadFloat();
+  double ReadDouble();
   std::string ReadString();
   /// Reads exactly `count` floats.
   std::vector<float> ReadFloats(size_t count);
+  /// Reads exactly `count` raw bytes.
+  std::vector<uint8_t> ReadBytes(size_t count);
 
   const Status& status() const { return status_; }
   /// True when the stream is positioned at end-of-file with no errors.
@@ -70,6 +76,76 @@ class BinaryReader {
   void ReadRaw(void* data, size_t size);
 
   std::ifstream in_;
+  Status status_;
+};
+
+/// In-memory little-endian byte-buffer writer with the same encoding as
+/// BinaryWriter; this is the substrate of the round-payload wire format
+/// (fl/wire.h), where payloads are serialized to byte vectors rather than
+/// files. Writes never fail.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void WriteU8(uint8_t value);
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteI64(int64_t value);
+  void WriteFloat(float value);
+  void WriteDouble(double value);
+  /// Length-prefixed UTF-8 string.
+  void WriteString(const std::string& value);
+  /// Raw float block (no length prefix; callers write the count first).
+  void WriteFloats(const std::vector<float>& values);
+  /// Raw byte block (no length prefix; callers write the count first).
+  void WriteBytes(const std::vector<uint8_t>& bytes);
+
+  int64_t size() const { return static_cast<int64_t>(buffer_.size()); }
+  const std::vector<uint8_t>& bytes() const { return buffer_; }
+  /// Moves the accumulated buffer out (the writer is empty afterwards).
+  std::vector<uint8_t> Release() { return std::move(buffer_); }
+
+ private:
+  void WriteRaw(const void* data, size_t size);
+
+  std::vector<uint8_t> buffer_;
+};
+
+/// Bounds-checked reader over a byte buffer, matching ByteWriter. The first
+/// out-of-bounds read latches an IoError status and every later read
+/// returns defaults — truncated or corrupt payloads surface as a clean
+/// Status, never as out-of-bounds access. The buffer is borrowed and must
+/// outlive the reader.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t ReadU8();
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int64_t ReadI64();
+  float ReadFloat();
+  double ReadDouble();
+  std::string ReadString();
+  /// Reads exactly `count` floats.
+  std::vector<float> ReadFloats(size_t count);
+  /// Reads exactly `count` raw bytes.
+  std::vector<uint8_t> ReadBytes(size_t count);
+
+  const Status& status() const { return status_; }
+  /// Bytes left to read (0 after a failure).
+  size_t remaining() const { return status_.ok() ? size_ - pos_ : 0; }
+  /// True when the whole buffer was consumed with no errors.
+  bool AtEnd() const { return status_.ok() && pos_ == size_; }
+
+ private:
+  void ReadRaw(void* data, size_t size);
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  size_t pos_ = 0;
   Status status_;
 };
 

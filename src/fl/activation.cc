@@ -4,12 +4,10 @@
 
 #include "core/binary_io.h"
 #include "core/check.h"
+#include "fl/wire.h"
 
 namespace fedda::fl {
 
-namespace {
-
-/// Deactivation threshold over the contributing clients' magnitudes.
 double ComputeThreshold(std::vector<double>* magnitudes,
                         const ActivationOptions& options) {
   FEDDA_CHECK(!magnitudes->empty());
@@ -20,11 +18,19 @@ double ComputeThreshold(std::vector<double>* magnitudes,
       return total / static_cast<double>(magnitudes->size());
     }
     case ThresholdRule::kMedian: {
-      const size_t mid = magnitudes->size() / 2;
+      const size_t n = magnitudes->size();
+      const size_t mid = n / 2;
       std::nth_element(magnitudes->begin(),
                        magnitudes->begin() + static_cast<long>(mid),
                        magnitudes->end());
-      return (*magnitudes)[mid];
+      const double upper = (*magnitudes)[mid];
+      if (n % 2 == 1) return upper;
+      // Even-sized contributor sets: average the two middle values. Taking
+      // the upper-middle element alone biases deactivation upward (more
+      // clients land strictly below the threshold than the median implies).
+      const double lower = *std::max_element(
+          magnitudes->begin(), magnitudes->begin() + static_cast<long>(mid));
+      return 0.5 * (lower + upper);
     }
     case ThresholdRule::kPercentile: {
       const double q = options.threshold_percentile;
@@ -40,8 +46,6 @@ double ComputeThreshold(std::vector<double>* magnitudes,
   }
   return 0.0;
 }
-
-}  // namespace
 
 ActivationState::ActivationState(int num_clients,
                                  const tensor::ParameterStore& reference,
@@ -228,22 +232,36 @@ int64_t ActivationState::GroupUnitCount(int group) const {
 }
 
 namespace {
-constexpr uint32_t kActivationMagic = 0xF3DDAAC7;
+/// v1 files (one u32 per mask bit, no options) keep loading; Save always
+/// writes v2, which bit-packs masks via the wire-format codec (32x smaller
+/// mask blocks) and persists the deactivation options so a checkpoint
+/// cannot silently resume under different rules. The two formats are
+/// distinguished by magic.
+constexpr uint32_t kActivationMagicV1 = 0xF3DDAAC7;
+constexpr uint32_t kActivationMagicV2 = 0xF3DDAAC8;
+constexpr uint32_t kActivationVersion = 2;
 }  // namespace
 
 core::Status ActivationState::Save(const std::string& path) const {
   core::BinaryWriter writer;
   FEDDA_RETURN_IF_ERROR(writer.Open(path));
-  writer.WriteU32(kActivationMagic);
+  writer.WriteU32(kActivationMagicV2);
+  writer.WriteU32(kActivationVersion);
   writer.WriteU32(static_cast<uint32_t>(num_clients_));
   writer.WriteU32(options_.granularity == ActivationGranularity::kTensor ? 0
                                                                          : 1);
   writer.WriteI64(num_units_);
+  writer.WriteDouble(options_.alpha);
+  writer.WriteU32(static_cast<uint32_t>(options_.threshold_rule));
+  writer.WriteDouble(options_.threshold_percentile);
+  std::vector<uint8_t> active_bits(static_cast<size_t>(num_clients_), 0);
   for (int c = 0; c < num_clients_; ++c) {
-    writer.WriteU32(client_active_[static_cast<size_t>(c)] ? 1 : 0);
-    for (uint8_t bit : masks_[static_cast<size_t>(c)]) {
-      writer.WriteU32(bit);
-    }
+    active_bits[static_cast<size_t>(c)] =
+        client_active_[static_cast<size_t>(c)] ? 1 : 0;
+  }
+  writer.WriteBytes(PackBits(active_bits));
+  for (int c = 0; c < num_clients_; ++c) {
+    writer.WriteBytes(PackBits(masks_[static_cast<size_t>(c)]));
   }
   return writer.Close();
 }
@@ -251,9 +269,15 @@ core::Status ActivationState::Save(const std::string& path) const {
 core::Status ActivationState::Load(const std::string& path) {
   core::BinaryReader reader;
   FEDDA_RETURN_IF_ERROR(reader.Open(path));
-  if (reader.ReadU32() != kActivationMagic) {
+  const uint32_t magic = reader.ReadU32();
+  if (magic != kActivationMagicV1 && magic != kActivationMagicV2) {
     return core::Status::InvalidArgument("not an activation-state file: " +
                                          path);
+  }
+  if (magic == kActivationMagicV2 &&
+      reader.ReadU32() != kActivationVersion) {
+    return core::Status::InvalidArgument("unsupported activation-state "
+                                         "version");
   }
   if (reader.ReadU32() != static_cast<uint32_t>(num_clients_)) {
     return core::Status::InvalidArgument("client count mismatch");
@@ -267,15 +291,48 @@ core::Status ActivationState::Load(const std::string& path) {
   if (reader.ReadI64() != num_units_) {
     return core::Status::InvalidArgument("unit count mismatch");
   }
+  if (magic == kActivationMagicV2) {
+    // v1 files predate option persistence and are accepted as-is; v2
+    // checkpoints must have been written under the exact deactivation
+    // options this state runs with, like the granularity check above.
+    if (reader.ReadDouble() != options_.alpha) {
+      return core::Status::InvalidArgument("alpha mismatch");
+    }
+    if (reader.ReadU32() !=
+        static_cast<uint32_t>(options_.threshold_rule)) {
+      return core::Status::InvalidArgument("threshold rule mismatch");
+    }
+    if (reader.ReadDouble() != options_.threshold_percentile) {
+      return core::Status::InvalidArgument("threshold percentile mismatch");
+    }
+  }
+
   std::vector<bool> active(static_cast<size_t>(num_clients_), true);
   std::vector<std::vector<uint8_t>> masks(
       static_cast<size_t>(num_clients_),
       std::vector<uint8_t>(static_cast<size_t>(num_units_), 1));
-  for (int c = 0; c < num_clients_; ++c) {
-    active[static_cast<size_t>(c)] = reader.ReadU32() != 0;
-    for (int64_t u = 0; u < num_units_; ++u) {
-      masks[static_cast<size_t>(c)][static_cast<size_t>(u)] =
-          reader.ReadU32() != 0 ? 1 : 0;
+  if (magic == kActivationMagicV2) {
+    const std::vector<uint8_t> packed_active =
+        reader.ReadBytes((static_cast<size_t>(num_clients_) + 7) / 8);
+    if (!reader.status().ok()) return reader.status();
+    const std::vector<uint8_t> active_bits =
+        UnpackBits(packed_active, static_cast<size_t>(num_clients_));
+    for (int c = 0; c < num_clients_; ++c) {
+      active[static_cast<size_t>(c)] =
+          active_bits[static_cast<size_t>(c)] != 0;
+      const std::vector<uint8_t> packed_mask =
+          reader.ReadBytes((static_cast<size_t>(num_units_) + 7) / 8);
+      if (!reader.status().ok()) return reader.status();
+      masks[static_cast<size_t>(c)] =
+          UnpackBits(packed_mask, static_cast<size_t>(num_units_));
+    }
+  } else {
+    for (int c = 0; c < num_clients_; ++c) {
+      active[static_cast<size_t>(c)] = reader.ReadU32() != 0;
+      for (int64_t u = 0; u < num_units_; ++u) {
+        masks[static_cast<size_t>(c)][static_cast<size_t>(u)] =
+            reader.ReadU32() != 0 ? 1 : 0;
+      }
     }
   }
   if (!reader.status().ok()) return reader.status();

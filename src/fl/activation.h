@@ -42,6 +42,13 @@ struct ActivationOptions {
   double threshold_percentile = 0.25;
 };
 
+/// Deactivation threshold over the contributing clients' magnitudes for one
+/// unit, per `options.threshold_rule`. kMedian averages the two middle
+/// values for even-sized sets (a true median, not the upper-middle order
+/// statistic). Reorders `magnitudes`; must be non-empty.
+double ComputeThreshold(std::vector<double>* magnitudes,
+                        const ActivationOptions& options);
+
 /// Server-side dynamic activation state: the active client set D_A and the
 /// per-client parameter request masks I_i (paper Sec. 5.2-5.3).
 ///
@@ -102,11 +109,14 @@ class ActivationState {
 
   const ActivationOptions& options() const { return options_; }
 
-  /// Persists the dynamic state (active set + masks) so a server can resume
+  /// Persists the dynamic state (active set + masks, bit-packed via the
+  /// fl/wire.h codec) plus the deactivation options so a server can resume
   /// a FedDA run after a crash: pair with a ParameterStore checkpoint.
   core::Status Save(const std::string& path) const;
   /// Restores state saved by Save(); the layout (client count, granularity,
-  /// unit count) must match this instance's construction.
+  /// unit count) and — for v2 files — the deactivation options (alpha,
+  /// threshold rule, percentile) must match this instance's construction.
+  /// Legacy v1 files (unpacked masks, no options) still load.
   core::Status Load(const std::string& path);
 
   // -- Layout helpers shared with the runner --------------------------------

@@ -93,6 +93,13 @@ struct RepeatedSummary {
   /// the slowest participant's scalars) — what a synchronous deployment
   /// actually waits for.
   double mean_total_max_uplink_scalars = 0.0;
+  /// Mean over runs of the measured wire-format totals (fl/wire.h):
+  /// serialized bytes in each direction, including headers and bit-packed
+  /// mask overhead, and the full-group scalar coverage shipped down under
+  /// the version-tracked request model.
+  double mean_total_uplink_bytes = 0.0;
+  double mean_total_downlink_bytes = 0.0;
+  double mean_total_downlink_scalars = 0.0;
   /// Per-round curves across runs (empty when eval_every_round was off).
   std::vector<double> mean_auc_per_round;
   std::vector<double> min_auc_per_round;

@@ -17,7 +17,7 @@ struct NetworkModel {
   double bytes_per_scalar = 4.0;
   /// Client uplink bandwidth (the FL bottleneck in practice).
   double uplink_bytes_per_sec = 1.0e6;
-  /// Client downlink bandwidth (broadcast of the full model).
+  /// Client downlink bandwidth (requested-group broadcast).
   double downlink_bytes_per_sec = 4.0e6;
   /// Fixed per-round overhead: handshakes, scheduling, aggregation.
   double round_latency_sec = 0.1;
@@ -32,14 +32,19 @@ struct RoundTiming {
 };
 
 /// Estimates per-round durations for a finished run. Synchronous rounds:
-/// duration = latency + downlink(full model) + compute(E epochs) +
+/// duration = latency + downlink(straggler) + compute(E epochs) +
 /// uplink(straggler). A synchronous round ends when its *slowest*
-/// participant finishes, so the uplink phase is charged with the round's
-/// RoundRecord::max_uplink_scalars; histories recorded before that field
-/// existed (max == 0 with non-zero uplink) fall back to the per-participant
-/// mean. Rounds with no participants cost only the latency. `model_scalars`
-/// is the full model size N in scalars; `local_epochs` the E used in the
-/// run.
+/// participant finishes, so both transfer phases are charged with the
+/// round's straggler: records carrying measured wire bytes
+/// (RoundRecord::max_uplink_bytes > 0) are charged their real
+/// max_downlink_bytes / max_uplink_bytes — masks, headers, and the
+/// version-tracked downlink included — instead of a flat full-model
+/// broadcast. Legacy fallbacks mirror the uplink-scalars one: histories
+/// without wire bytes are charged `model_scalars` of downlink per round and
+/// max_uplink_scalars (or, before that field existed, the per-participant
+/// mean) of uplink. Rounds with no participants cost only the latency.
+/// `model_scalars` is the full model size N in scalars (used only by the
+/// legacy path); `local_epochs` the E used in the run.
 std::vector<RoundTiming> SimulateTiming(const FlRunResult& result,
                                         const NetworkModel& model,
                                         int64_t model_scalars,

@@ -5,6 +5,7 @@
 
 #include "core/logging.h"
 #include "core/thread_pool.h"
+#include "fl/wire.h"
 
 namespace fedda::fl {
 
@@ -92,7 +93,9 @@ std::vector<int> FederatedRunner::SelectParticipants(ActivationState* state,
 std::vector<std::vector<double>> FederatedRunner::AggregateAndMeasure(
     const std::vector<int>& participants, const ParameterStore& broadcast,
     const std::vector<int>& selected_groups, const ActivationState& state,
-    ParameterStore* global_store) const {
+    ParameterStore* global_store,
+    std::vector<uint8_t>* groups_updated) const {
+  groups_updated->assign(static_cast<size_t>(global_store->num_groups()), 0);
   const bool is_fedda = options_.algorithm != FlAlgorithm::kFedAvg;
   const bool scalar_gran = options_.activation.granularity ==
                            ActivationGranularity::kScalar;
@@ -141,6 +144,7 @@ std::vector<std::vector<double>> FederatedRunner::AggregateAndMeasure(
         total_weight += weight[p];
       }
       target.Scale(1.0f / static_cast<float>(total_weight));
+      (*groups_updated)[static_cast<size_t>(gid)] = 1;
       continue;
     }
 
@@ -166,6 +170,7 @@ std::vector<std::vector<double>> FederatedRunner::AggregateAndMeasure(
       if (total_weight > 0.0) {
         sum.Scale(1.0f / static_cast<float>(total_weight));
         global_store->value(gid) = std::move(sum);
+        (*groups_updated)[static_cast<size_t>(gid)] = 1;
       }
       continue;
     }
@@ -186,9 +191,12 @@ std::vector<std::vector<double>> FederatedRunner::AggregateAndMeasure(
         magnitudes[p][static_cast<size_t>(first_unit + s)] =
             std::fabs(cv - old.data()[s]);
       }
-      target.data()[s] = total_weight > 0.0
-                             ? static_cast<float>(sum / total_weight)
-                             : old.data()[s];
+      if (total_weight > 0.0) {
+        target.data()[s] = static_cast<float>(sum / total_weight);
+        (*groups_updated)[static_cast<size_t>(gid)] = 1;
+      } else {
+        target.data()[s] = old.data()[s];
+      }
     }
   }
   return magnitudes;
@@ -208,6 +216,20 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
   core::ThreadPool* pool_ptr = options_.worker_threads > 0 ? &pool : nullptr;
   hgn::TrainOptions local_options = options_.local;
   local_options.pool = pool_ptr;
+
+  // Downlink version tracking for the measured wire accounting: the server
+  // re-ships a group to a client only when the client requests it (FedAvg
+  // requests everything) and its cached copy is stale. Clients start at
+  // version -1 ("never sent"), so round 0 charges the initial full
+  // broadcast; groups advance versions only when aggregation writes them,
+  // so FedAvg's unselected groups and FedDA's unrequested groups are never
+  // re-shipped — until a reactivated mask requests a stale group again,
+  // which is charged as a resync.
+  const int num_groups = global_store->num_groups();
+  std::vector<int> group_version(static_cast<size_t>(num_groups), 0);
+  std::vector<std::vector<int>> sent_version(
+      static_cast<size_t>(m),
+      std::vector<int>(static_cast<size_t>(num_groups), -1));
 
   FlRunResult result;
   result.history.reserve(static_cast<size_t>(options_.rounds));
@@ -306,8 +328,10 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
     record.participants = static_cast<int>(participants.size());
     record.mean_local_loss =
         loss_sum / static_cast<double>(participants.size());
-    // Uplink accounting uses the masks in force *this* round (before the
-    // post-aggregation update below).
+    // Uplink and downlink accounting uses the masks in force *this* round
+    // (before the post-aggregation update below). Bytes are measured off
+    // real fl/wire.h payloads, so they include entry headers and the
+    // bit-packed mask overhead.
     for (int c : participants) {
       const int64_t scalars =
           is_fedda ? state.TransmittedScalars(c) : selected_scalars;
@@ -318,10 +342,58 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
       record.uplink_scalars += scalars;
       record.max_uplink_scalars =
           std::max(record.max_uplink_scalars, scalars);
+
+      const WirePayload uplink =
+          is_fedda
+              ? BuildUplinkPayload(state, c, round,
+                                   clients_[static_cast<size_t>(c)]->params())
+              : BuildDenseUplinkPayload(
+                    selected_groups, c, round,
+                    clients_[static_cast<size_t>(c)]->params());
+      const int64_t uplink_bytes = uplink.EncodedBytes();
+      record.uplink_bytes += uplink_bytes;
+      record.max_uplink_bytes =
+          std::max(record.max_uplink_bytes, uplink_bytes);
+
+      // Downlink: requested groups whose cached version is stale. An empty
+      // need-list costs nothing — the round trigger itself is covered by
+      // the timing model's fixed per-round latency.
+      std::vector<int> need;
+      std::vector<int>& cached = sent_version[static_cast<size_t>(c)];
+      for (int gid = 0; gid < num_groups; ++gid) {
+        if (is_fedda && !state.GroupRequested(c, gid)) continue;
+        if (cached[static_cast<size_t>(gid)] !=
+            group_version[static_cast<size_t>(gid)]) {
+          need.push_back(gid);
+          cached[static_cast<size_t>(gid)] =
+              group_version[static_cast<size_t>(gid)];
+        }
+      }
+      int64_t downlink_bytes = 0;
+      int64_t downlink_scalars = 0;
+      if (!need.empty()) {
+        const WirePayload downlink =
+            BuildDownlinkPayload(need, c, round, broadcast);
+        downlink_bytes = downlink.EncodedBytes();
+        downlink_scalars = downlink.CoveredScalars();
+      }
+      record.downlink_bytes += downlink_bytes;
+      record.downlink_scalars += downlink_scalars;
+      record.max_downlink_bytes =
+          std::max(record.max_downlink_bytes, downlink_bytes);
+      record.max_downlink_scalars =
+          std::max(record.max_downlink_scalars, downlink_scalars);
     }
 
-    const auto magnitudes = AggregateAndMeasure(
-        participants, broadcast, selected_groups, state, global_store);
+    std::vector<uint8_t> groups_updated;
+    const auto magnitudes =
+        AggregateAndMeasure(participants, broadcast, selected_groups, state,
+                            global_store, &groups_updated);
+    for (int gid = 0; gid < num_groups; ++gid) {
+      if (groups_updated[static_cast<size_t>(gid)]) {
+        ++group_version[static_cast<size_t>(gid)];
+      }
+    }
 
     if (is_fedda) {
       state.UpdateMasks(participants, magnitudes);
@@ -372,6 +444,10 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
     result.total_uplink_groups += record.uplink_groups;
     result.total_uplink_scalars += record.uplink_scalars;
     result.total_max_uplink_scalars += record.max_uplink_scalars;
+    result.total_uplink_bytes += record.uplink_bytes;
+    result.total_downlink_bytes += record.downlink_bytes;
+    result.total_downlink_scalars += record.downlink_scalars;
+    result.total_max_downlink_scalars += record.max_downlink_scalars;
     result.history.push_back(record);
   }
 

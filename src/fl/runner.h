@@ -85,6 +85,20 @@ struct RoundRecord {
   /// charge this straggler value, not the per-participant mean — under
   /// FedDA's per-client masks the two differ materially.
   int64_t max_uplink_scalars = 0;
+  /// Measured wire bytes this round (fl/wire.h payloads, including headers
+  /// and bit-packed mask overhead), summed over participants and the
+  /// per-participant straggler maxima. Downlink covers only the groups each
+  /// participant requests and does not already hold current — the server
+  /// never re-ships unchanged groups — so `downlink_scalars` (full-group
+  /// coverage shipped down) is at most participants * model scalars and
+  /// usually far less. Zero bytes with participants > 0 marks a record from
+  /// before the wire format existed (see SimulateTiming's legacy fallback).
+  int64_t uplink_bytes = 0;
+  int64_t max_uplink_bytes = 0;
+  int64_t downlink_scalars = 0;
+  int64_t max_downlink_scalars = 0;
+  int64_t downlink_bytes = 0;
+  int64_t max_downlink_bytes = 0;
   /// Active-set size after this round's (de/re)activation.
   int active_after_round = 0;
 };
@@ -98,6 +112,13 @@ struct FlRunResult {
   /// Sum over rounds of RoundRecord::max_uplink_scalars: the uplink volume
   /// on the straggler-bound critical path of a synchronous run.
   int64_t total_max_uplink_scalars = 0;
+  /// Measured wire-format totals (sums of the per-round RoundRecord
+  /// fields). Bytes include payload headers and mask overhead; the
+  /// max_downlink total is the straggler-bound downlink coverage.
+  int64_t total_uplink_bytes = 0;
+  int64_t total_downlink_bytes = 0;
+  int64_t total_downlink_scalars = 0;
+  int64_t total_max_downlink_scalars = 0;
 };
 
 /// Orchestrates one federated training run (Algorithm 1): owns the clients,
@@ -137,12 +158,16 @@ class FederatedRunner {
   std::vector<int> SelectParticipants(ActivationState* state, core::Rng* rng);
 
   /// Masked mean aggregation into `global_store`; returns per-participant
-  /// per-unit |delta| magnitudes for the subsequent mask update.
+  /// per-unit |delta| magnitudes for the subsequent mask update. Sets
+  /// `groups_updated[g]` to 1 for every group the aggregation wrote (the
+  /// downlink version tracking only re-ships groups whose global value
+  /// advanced).
   std::vector<std::vector<double>> AggregateAndMeasure(
       const std::vector<int>& participants,
       const tensor::ParameterStore& broadcast,
       const std::vector<int>& selected_groups, const ActivationState& state,
-      tensor::ParameterStore* global_store) const;
+      tensor::ParameterStore* global_store,
+      std::vector<uint8_t>* groups_updated) const;
 
   /// Scores `global_store`; uses evaluator_ when set, else the built-in
   /// link-prediction evaluation (which borrows `pool` for its forward pass).

@@ -1,0 +1,142 @@
+#ifndef FEDDA_FL_WIRE_H_
+#define FEDDA_FL_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "fl/activation.h"
+#include "tensor/parameter_store.h"
+
+namespace fedda::fl {
+
+/// Wire format for federated round payloads.
+///
+/// Until this layer existed, communication volume was *estimated* from
+/// scalar counts and every round was charged a full-model downlink. A
+/// WirePayload is the real serialized artifact a deployment would put on
+/// the network: an uplink payload carries a participant's weights sparsely
+/// under its activation mask (bit-packed unit mask + only the active
+/// scalars; whole groups for non-disentangled or tensor-granularity
+/// units), and a downlink payload carries only the groups a client
+/// requests. `EncodedBytes()` is the exact serialized size, so the
+/// runner's accounting — including mask overhead — is measured, not
+/// modeled. See DESIGN.md §8 for the byte layout.
+
+/// Packs `count` bits (each byte 0 or 1) LSB-first into ceil(count/8)
+/// bytes. Shared by the wire payloads and ActivationState's checkpoint
+/// format.
+std::vector<uint8_t> PackBits(const uint8_t* bits, size_t count);
+std::vector<uint8_t> PackBits(const std::vector<uint8_t>& bits);
+
+/// Inverse of PackBits: expands `packed` into `count` bytes of 0/1.
+/// `packed` must hold at least ceil(count/8) bytes.
+std::vector<uint8_t> UnpackBits(const std::vector<uint8_t>& packed,
+                                size_t count);
+
+/// Direction tag embedded in every payload header.
+enum class WireKind : uint32_t {
+  kUplink = 1,
+  kDownlink = 2,
+};
+
+/// One parameter group on the wire. Dense entries (empty `mask`) carry all
+/// `size` scalars of the group; masked entries carry a bit-packed scalar
+/// mask plus only the active scalars, in group order.
+struct WireGroup {
+  int group = 0;
+  /// Full scalar count of the group in the model (also the mask bit count).
+  int64_t size = 0;
+  /// Bit-packed per-scalar mask (ceil(size/8) bytes), empty for dense.
+  std::vector<uint8_t> mask;
+  /// Dense: `size` values. Masked: one value per set mask bit.
+  std::vector<float> values;
+
+  /// Exact serialized size of this entry in bytes.
+  int64_t EncodedBytes() const;
+};
+
+/// A serialized round message in either direction. Payloads are built by
+/// the factory functions below (or reconstructed by Deserialize) and are
+/// immutable afterwards.
+class WirePayload {
+ public:
+  WirePayload() = default;
+
+  WireKind kind() const { return kind_; }
+  int client() const { return client_; }
+  int round() const { return round_; }
+  /// Total group count of the model the payload was built against (layout
+  /// check on ApplyTo).
+  int total_groups() const { return total_groups_; }
+  const std::vector<WireGroup>& groups() const { return groups_; }
+
+  /// Scalars carried by the payload (active values only for masked
+  /// entries).
+  int64_t PayloadScalars() const;
+  /// Full-group scalar coverage: sum of `size` over entries (what the
+  /// receiver ends up holding current values for).
+  int64_t CoveredScalars() const;
+
+  /// Exact byte size of Serialize()'s result, computed without
+  /// serializing.
+  int64_t EncodedBytes() const;
+
+  /// Encodes the payload into the little-endian wire form.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Parses `bytes` into this payload. Truncated or corrupt input returns
+  /// a non-OK Status and leaves the payload unchanged; it never crashes.
+  core::Status Deserialize(const std::vector<uint8_t>& bytes);
+
+  /// Writes the carried values into `store`: dense entries overwrite the
+  /// whole group, masked entries overwrite only active scalars (inactive
+  /// positions keep the store's values). With every group present and
+  /// dense — a full-mask payload — this is bit-identical to
+  /// ParameterStore::CopyValuesFrom. Fails if the payload does not match
+  /// the store's layout.
+  core::Status ApplyTo(tensor::ParameterStore* store) const;
+
+ private:
+  friend WirePayload BuildUplinkPayload(const ActivationState& state,
+                                        int client, int round,
+                                        const tensor::ParameterStore& params);
+  friend WirePayload BuildDenseUplinkPayload(
+      const std::vector<int>& groups, int client, int round,
+      const tensor::ParameterStore& params);
+  friend WirePayload BuildDownlinkPayload(
+      const std::vector<int>& groups, int client, int round,
+      const tensor::ParameterStore& global);
+
+  WireKind kind_ = WireKind::kUplink;
+  int client_ = 0;
+  int round_ = 0;
+  int total_groups_ = 0;
+  std::vector<WireGroup> groups_;
+};
+
+/// FedDA uplink: client `client`'s post-training weights under its current
+/// masks. Non-disentangled groups and active tensor-granularity groups are
+/// sent whole (dense entries); scalar-granularity disentangled groups are
+/// sent as bit-packed mask + active scalars (masked entries); groups whose
+/// mask is entirely off are omitted.
+WirePayload BuildUplinkPayload(const ActivationState& state, int client,
+                               int round,
+                               const tensor::ParameterStore& params);
+
+/// FedAvg uplink: the round's selected groups, each sent whole. `groups`
+/// must be ascending valid group ids.
+WirePayload BuildDenseUplinkPayload(const std::vector<int>& groups,
+                                    int client, int round,
+                                    const tensor::ParameterStore& params);
+
+/// Downlink: the global values of exactly `groups` (the groups the client
+/// requests and does not already hold current), each sent whole. An empty
+/// `groups` list yields a header-only payload.
+WirePayload BuildDownlinkPayload(const std::vector<int>& groups, int client,
+                                 int round,
+                                 const tensor::ParameterStore& global);
+
+}  // namespace fedda::fl
+
+#endif  // FEDDA_FL_WIRE_H_

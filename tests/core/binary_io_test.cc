@@ -87,5 +87,89 @@ TEST_F(BinaryIoTest, OpenMissingFileFails) {
   EXPECT_FALSE(writer.Open("/nonexistent_dir_xyz/file.bin").ok());
 }
 
+TEST_F(BinaryIoTest, FileDoubleAndBytesRoundTrip) {
+  {
+    BinaryWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    writer.WriteDouble(0.1234567890123456);
+    writer.WriteBytes({0x00, 0xFF, 0x7A});
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  EXPECT_EQ(reader.ReadDouble(), 0.1234567890123456);
+  EXPECT_EQ(reader.ReadBytes(3), (std::vector<uint8_t>{0x00, 0xFF, 0x7A}));
+  EXPECT_TRUE(reader.AtEof());
+}
+
+TEST(ByteIoTest, RoundTripAllTypes) {
+  ByteWriter writer;
+  writer.WriteU8(0xAB);
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteU64(0x1122334455667788ULL);
+  writer.WriteI64(-42);
+  writer.WriteFloat(3.5f);
+  writer.WriteDouble(-0.25);
+  writer.WriteString("hello fedda");
+  writer.WriteFloats({1.0f, -2.0f, 0.5f});
+  writer.WriteBytes({9, 8, 7});
+  EXPECT_EQ(writer.size(), static_cast<int64_t>(writer.bytes().size()));
+
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.ReadU8(), 0xAB);
+  EXPECT_EQ(reader.ReadU32(), 0xDEADBEEF);
+  EXPECT_EQ(reader.ReadU64(), 0x1122334455667788ULL);
+  EXPECT_EQ(reader.ReadI64(), -42);
+  EXPECT_EQ(reader.ReadFloat(), 3.5f);
+  EXPECT_EQ(reader.ReadDouble(), -0.25);
+  EXPECT_EQ(reader.ReadString(), "hello fedda");
+  EXPECT_EQ(reader.ReadFloats(3), (std::vector<float>{1.0f, -2.0f, 0.5f}));
+  EXPECT_EQ(reader.ReadBytes(3), (std::vector<uint8_t>{9, 8, 7}));
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_TRUE(reader.status().ok());
+}
+
+TEST(ByteIoTest, LittleEndianLayout) {
+  ByteWriter writer;
+  writer.WriteU32(0x01020304);
+  EXPECT_EQ(writer.bytes(),
+            (std::vector<uint8_t>{0x04, 0x03, 0x02, 0x01}));
+}
+
+TEST(ByteIoTest, OverrunSetsStickyError) {
+  ByteWriter writer;
+  writer.WriteU32(7);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.ReadU32(), 7u);
+  reader.ReadU64();  // asks for more bytes than exist
+  EXPECT_FALSE(reader.status().ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+  // Later reads stay failed and return defaults, never touching memory.
+  EXPECT_EQ(reader.ReadU32(), 0u);
+  EXPECT_EQ(reader.ReadFloats(4), std::vector<float>{});
+  EXPECT_FALSE(reader.AtEnd());
+}
+
+TEST(ByteIoTest, GiantCountsRejectedWithoutAllocating) {
+  // A corrupt length prefix must not drive a huge allocation (or overflow
+  // count * sizeof(float)); the reader fails cleanly instead.
+  ByteWriter writer;
+  writer.WriteU32(1);
+  ByteReader reader(writer.bytes());
+  reader.ReadFloats(static_cast<size_t>(-1) / 2);
+  EXPECT_FALSE(reader.status().ok());
+  ByteReader bytes_reader(writer.bytes());
+  bytes_reader.ReadBytes(static_cast<size_t>(-1));
+  EXPECT_FALSE(bytes_reader.status().ok());
+}
+
+TEST(ByteIoTest, ReleaseHandsOverBuffer) {
+  ByteWriter writer;
+  writer.WriteU8(1);
+  writer.WriteU8(2);
+  const std::vector<uint8_t> buffer = writer.Release();
+  EXPECT_EQ(buffer, (std::vector<uint8_t>{1, 2}));
+}
+
 }  // namespace
 }  // namespace fedda::core

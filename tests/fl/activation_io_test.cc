@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/binary_io.h"
 #include "fl/activation.h"
 
 namespace fedda::fl {
@@ -77,6 +78,76 @@ TEST_F(ActivationIoTest, LoadRejectsLayoutMismatch) {
   EXPECT_FALSE(wrong_gran.Load(path_).ok());
 }
 
+TEST_F(ActivationIoTest, LoadsLegacyV1Format) {
+  // Hand-written v1 file: magic 0xF3DDAAC7, no version field, no options,
+  // and one u32 per activity/mask bit (the pre-bit-packing encoding).
+  {
+    core::BinaryWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    writer.WriteU32(0xF3DDAAC7);
+    writer.WriteU32(3);  // clients
+    writer.WriteU32(0);  // tensor granularity
+    writer.WriteI64(2);  // units
+    // client 0: active, masks {1, 0}
+    writer.WriteU32(1);
+    writer.WriteU32(1);
+    writer.WriteU32(0);
+    // client 1: inactive, masks {0, 0}
+    writer.WriteU32(0);
+    writer.WriteU32(0);
+    writer.WriteU32(0);
+    // client 2: active, masks {1, 1}
+    writer.WriteU32(1);
+    writer.WriteU32(1);
+    writer.WriteU32(1);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  ParameterStore ref = MakeReference();
+  ActivationState state(3, ref, ActivationOptions{});
+  ASSERT_TRUE(state.Load(path_).ok());
+  EXPECT_TRUE(state.client_active(0));
+  EXPECT_FALSE(state.client_active(1));
+  EXPECT_TRUE(state.client_active(2));
+  EXPECT_TRUE(state.UnitActive(0, 0));
+  EXPECT_FALSE(state.UnitActive(0, 1));
+  EXPECT_TRUE(state.UnitActive(2, 1));
+}
+
+TEST_F(ActivationIoTest, LoadRejectsOptionMismatches) {
+  ParameterStore ref = MakeReference();
+  const ActivationOptions options;  // alpha 0.5, mean rule, percentile 0.25
+  const ActivationState state(3, ref, options);
+  ASSERT_TRUE(state.Save(path_).ok());
+
+  ActivationOptions other_alpha = options;
+  other_alpha.alpha = 0.9;
+  EXPECT_FALSE(ActivationState(3, ref, other_alpha).Load(path_).ok());
+
+  ActivationOptions other_rule = options;
+  other_rule.threshold_rule = ThresholdRule::kMedian;
+  EXPECT_FALSE(ActivationState(3, ref, other_rule).Load(path_).ok());
+
+  ActivationOptions other_percentile = options;
+  other_percentile.threshold_percentile = 0.75;
+  EXPECT_FALSE(ActivationState(3, ref, other_percentile).Load(path_).ok());
+
+  // The exact same options still load.
+  EXPECT_TRUE(ActivationState(3, ref, options).Load(path_).ok());
+}
+
+TEST_F(ActivationIoTest, BitPackedCheckpointIsCompact) {
+  ParameterStore ref = MakeReference();
+  ActivationOptions options;
+  options.granularity = ActivationGranularity::kScalar;
+  const ActivationState state(3, ref, options);  // 7 maskable scalars
+  ASSERT_TRUE(state.Save(path_).ok());
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  // Header 44 (magic, version, clients, granularity, units, alpha, rule,
+  // percentile) + 1 packed active byte + 3 x 1 packed mask bytes. The old
+  // u32-per-bit encoding of the same state was 20 + 3 * (4 + 7 * 4) = 116.
+  EXPECT_EQ(static_cast<int64_t>(in.tellg()), 48);
+}
+
 TEST_F(ActivationIoTest, LoadRejectsGarbage) {
   {
     std::ofstream out(path_);
@@ -87,6 +158,28 @@ TEST_F(ActivationIoTest, LoadRejectsGarbage) {
   EXPECT_FALSE(state.Load(path_).ok());
   // Failed load leaves the state untouched.
   EXPECT_EQ(state.num_active_clients(), 3);
+}
+
+TEST_F(ActivationIoTest, TruncatedFileFailsCleanly) {
+  ParameterStore ref = MakeReference();
+  ActivationState state(3, ref, ActivationOptions{});
+  state.DeactivateClient(2);
+  ASSERT_TRUE(state.Save(path_).ok());
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  const int64_t full = static_cast<int64_t>(in.tellg());
+  in.close();
+  for (int64_t len : {full - 1, full - 4, int64_t{44}, int64_t{4}}) {
+    std::vector<char> bytes(static_cast<size_t>(len));
+    std::ifstream src(path_, std::ios::binary);
+    src.read(bytes.data(), len);
+    const std::string truncated = path_ + ".trunc";
+    std::ofstream(truncated, std::ios::binary)
+        .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ActivationState fresh(3, ref, ActivationOptions{});
+    EXPECT_FALSE(fresh.Load(truncated).ok()) << "length " << len;
+    EXPECT_EQ(fresh.num_active_clients(), 3);
+    std::remove(truncated.c_str());
+  }
 }
 
 }  // namespace

@@ -87,6 +87,35 @@ TEST(NetworkTest, LegacyRecordsFallBackToMeanUplink) {
   EXPECT_DOUBLE_EQ(timing[2].round_sec, 4.5);  // mean = 500 scalars
 }
 
+TEST(NetworkTest, MeasuredRecordsChargePerDirectionWireBytes) {
+  // Records with measured wire bytes charge those directly — model_scalars
+  // and the scalar-count fallback are ignored entirely.
+  FlRunResult run = MakeRun();
+  run.history[0].max_uplink_bytes = 2000;    // 0.5 s at 4000 B/s
+  run.history[0].uplink_bytes = 6000;
+  run.history[0].max_downlink_bytes = 4000;  // 0.5 s at 8000 B/s
+  run.history[0].downlink_bytes = 12000;
+  const auto timing = SimulateTiming(run, SimpleModel(), 2000, 1);
+  // 1 (latency) + 0.5 (down) + 2 (compute) + 0.5 (straggler up).
+  EXPECT_DOUBLE_EQ(timing[0].round_sec, 4.0);
+  // Round 2 carries no measured bytes -> legacy straggler-scalar fallback
+  // still applies within the same history (1 + 1 + 2 + 0.8).
+  EXPECT_DOUBLE_EQ(timing[2].round_sec, 4.8);
+}
+
+TEST(NetworkTest, MeasuredDownlinkCanBeCheaperThanFullBroadcast) {
+  // The honest downlink model: a round that re-ships only a few stale
+  // groups beats the legacy full-model broadcast charge.
+  FlRunResult sparse = MakeRun();
+  sparse.history[0].max_uplink_bytes = 4000;
+  sparse.history[0].max_downlink_bytes = 800;  // 0.1 s vs 1 s full model
+  FlRunResult legacy = MakeRun();  // charged model_bytes = 8000 downlink
+  const auto t_sparse = SimulateTiming(sparse, SimpleModel(), 2000, 1);
+  const auto t_legacy = SimulateTiming(legacy, SimpleModel(), 2000, 1);
+  EXPECT_DOUBLE_EQ(t_sparse[0].round_sec, 1.0 + 0.1 + 2.0 + 1.0);
+  EXPECT_LT(t_sparse[0].round_sec, t_legacy[0].round_sec);
+}
+
 TEST(NetworkTest, FewerTransmittedScalarsMeansFasterRounds) {
   FlRunResult fedavg = MakeRun();
   FlRunResult fedda = MakeRun();

@@ -164,6 +164,46 @@ TEST_F(RunnerTest, MetricsStayInValidRanges) {
   }
 }
 
+TEST_F(RunnerTest, FedAvgMeasuredBytesMatchDenseBroadcast) {
+  const FlOptions options = FastOptions(FlAlgorithm::kFedAvg);
+  const FlRunResult result = RunFederated(*system_, options, 29);
+  tensor::ParameterStore ref = system_->MakeInitialStore(29);
+  const int64_t n_scalars = ref.num_scalars();
+  for (const RoundRecord& record : result.history) {
+    // Full participation, full model: the downlink re-ships every group to
+    // every participant each round, so covered scalars match the uplink.
+    EXPECT_EQ(record.downlink_scalars, 4 * n_scalars);
+    EXPECT_EQ(record.max_downlink_scalars, n_scalars);
+    // Measured bytes are scalars plus real header/entry overhead.
+    EXPECT_GT(record.uplink_bytes, 4 * record.uplink_scalars);
+    EXPECT_GT(record.downlink_bytes, 4 * record.downlink_scalars);
+    EXPECT_GE(record.max_uplink_bytes, 4 * n_scalars);
+    EXPECT_GE(record.max_downlink_bytes, 4 * n_scalars);
+  }
+  EXPECT_EQ(result.total_downlink_scalars, 4 * 4 * n_scalars);
+  EXPECT_GT(result.total_uplink_bytes, 0);
+  EXPECT_GT(result.total_downlink_bytes, 0);
+}
+
+TEST_F(RunnerTest, FedDaDownlinkIsCheaperThanFullBroadcast) {
+  const int rounds = 6;
+  const FlRunResult fedavg =
+      RunFederated(*system_, FastOptions(FlAlgorithm::kFedAvg, rounds), 11);
+  const FlRunResult explore = RunFederated(
+      *system_, FastOptions(FlAlgorithm::kFedDaExplore, rounds), 11);
+  // The honest downlink model ships strictly less than the legacy
+  // rounds x participants x model_bytes broadcast charge.
+  int64_t participant_rounds = 0;
+  for (const RoundRecord& record : explore.history) {
+    participant_rounds += record.participants;
+    EXPECT_LE(record.downlink_bytes, record.uplink_bytes);
+  }
+  EXPECT_LT(explore.total_downlink_bytes,
+            participant_rounds * fedavg.history[0].max_downlink_bytes);
+  EXPECT_LT(explore.total_downlink_bytes, fedavg.total_downlink_bytes);
+  EXPECT_LT(explore.total_uplink_bytes, fedavg.total_uplink_bytes);
+}
+
 TEST(FlAlgorithmNameTest, Names) {
   EXPECT_STREQ(FlAlgorithmName(FlAlgorithm::kFedAvg), "FedAvg");
   EXPECT_STREQ(FlAlgorithmName(FlAlgorithm::kFedDaRestart), "FedDA-Restart");

@@ -88,5 +88,34 @@ TEST(ThresholdRuleTest, SingleContributorNeverSelfDeactivates) {
   }
 }
 
+double Threshold(const ActivationOptions& options,
+                 std::vector<double> magnitudes) {
+  return ComputeThreshold(&magnitudes, options);
+}
+
+TEST(ComputeThresholdTest, MedianAveragesMiddlePairForEvenSets) {
+  const ActivationOptions median = WithRule(ThresholdRule::kMedian);
+  // Regression: the old implementation returned the upper-middle order
+  // statistic (4 here), biasing deactivation upward.
+  EXPECT_DOUBLE_EQ(Threshold(median, {1, 2, 4, 10}), 3.0);
+  EXPECT_DOUBLE_EQ(Threshold(median, {10, 1, 4, 2}), 3.0);  // order-free
+  EXPECT_DOUBLE_EQ(Threshold(median, {2, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(Threshold(median, {5, 5, 5, 5}), 5.0);
+}
+
+TEST(ComputeThresholdTest, MedianReturnsMiddleElementForOddSets) {
+  const ActivationOptions median = WithRule(ThresholdRule::kMedian);
+  EXPECT_DOUBLE_EQ(Threshold(median, {1, 2, 3, 4, 10}), 3.0);
+  EXPECT_DOUBLE_EQ(Threshold(median, {7}), 7.0);
+}
+
+TEST(ComputeThresholdTest, MeanAndPercentileMatchHandComputation) {
+  EXPECT_DOUBLE_EQ(Threshold(WithRule(ThresholdRule::kMean), {1, 2, 4, 10}),
+                   17.0 / 4.0);
+  EXPECT_DOUBLE_EQ(
+      Threshold(WithRule(ThresholdRule::kPercentile, 0.2), {1, 2, 3, 4, 10}),
+      2.0);
+}
+
 }  // namespace
 }  // namespace fedda::fl

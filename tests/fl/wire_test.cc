@@ -1,0 +1,319 @@
+#include "fl/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "fl/activation.h"
+#include "tensor/parameter_store.h"
+
+namespace fedda::fl {
+namespace {
+
+using tensor::ParameterStore;
+using tensor::Tensor;
+
+/// Mixed layout with sizes that are deliberately not multiples of 8, so the
+/// bit-packed masks exercise partial final bytes and padding bits.
+ParameterStore MakeStore(uint64_t seed) {
+  core::Rng rng(seed);
+  ParameterStore store;
+  store.Register("dense0", Tensor::RandomNormal(3, 5, &rng));
+  store.Register("ent_a", Tensor::RandomNormal(2, 7, &rng),
+                 /*disentangled=*/true, /*edge_type=*/0);
+  store.Register("ent_b", Tensor::RandomNormal(1, 3, &rng),
+                 /*disentangled=*/true, /*edge_type=*/1);
+  store.Register("dense1", Tensor::RandomNormal(1, 4, &rng));
+  store.Register("ent_c", Tensor::RandomNormal(5, 5, &rng),
+                 /*disentangled=*/true, /*edge_type=*/2);
+  return store;
+}
+
+std::vector<int> AllGroups(const ParameterStore& store) {
+  std::vector<int> groups(store.num_groups());
+  for (int g = 0; g < store.num_groups(); ++g) groups[g] = g;
+  return groups;
+}
+
+bool BitIdentical(const ParameterStore& a, const ParameterStore& b) {
+  if (a.num_groups() != b.num_groups()) return false;
+  for (int g = 0; g < a.num_groups(); ++g) {
+    if (a.value(g).size() != b.value(g).size()) return false;
+    if (std::memcmp(a.value(g).data(), b.value(g).data(),
+                    sizeof(float) * a.value(g).size()) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Ground truth for "is this scalar shipped by client c's uplink": mirrors
+/// the mask semantics BuildUplinkPayload must honor.
+bool ScalarShipped(const ActivationState& state, int client, int group,
+                   int64_t offset) {
+  const int64_t first = state.GroupFirstUnit(group);
+  if (first < 0) return true;  // non-disentangled: always whole
+  if (state.options().granularity == ActivationGranularity::kTensor) {
+    return state.UnitActive(client, first);
+  }
+  return state.UnitActive(client, first + offset);
+}
+
+TEST(PackBitsTest, RoundTripsAllCountsAndZeroPads) {
+  core::Rng rng(11);
+  for (size_t count : {0, 1, 7, 8, 9, 15, 16, 17, 64, 65}) {
+    std::vector<uint8_t> bits(count);
+    for (auto& b : bits) b = rng.Uniform() < 0.5 ? 1 : 0;
+    const std::vector<uint8_t> packed = PackBits(bits);
+    EXPECT_EQ(packed.size(), (count + 7) / 8);
+    EXPECT_EQ(UnpackBits(packed, count), bits) << "count=" << count;
+    if (count % 8 != 0 && !packed.empty()) {
+      // Padding bits above `count` in the final byte must be zero.
+      EXPECT_EQ(packed.back() >> (count % 8), 0) << "count=" << count;
+    }
+  }
+}
+
+TEST(WirePayloadTest, DenseUplinkRoundTripsBitIdentical) {
+  const ParameterStore sender = MakeStore(1);
+  const WirePayload payload =
+      BuildDenseUplinkPayload(AllGroups(sender), /*client=*/2, /*round=*/5,
+                              sender);
+  EXPECT_EQ(payload.kind(), WireKind::kUplink);
+  EXPECT_EQ(payload.client(), 2);
+  EXPECT_EQ(payload.round(), 5);
+  EXPECT_EQ(payload.PayloadScalars(), sender.num_scalars());
+  EXPECT_EQ(payload.CoveredScalars(), sender.num_scalars());
+
+  const std::vector<uint8_t> bytes = payload.Serialize();
+  EXPECT_EQ(static_cast<int64_t>(bytes.size()), payload.EncodedBytes());
+
+  WirePayload decoded;
+  ASSERT_TRUE(decoded.Deserialize(bytes).ok());
+  ParameterStore receiver = MakeStore(2);
+  ASSERT_TRUE(decoded.ApplyTo(&receiver).ok());
+
+  // Full-coverage dense payload == CopyValuesFrom, bit for bit.
+  ParameterStore reference = MakeStore(2);
+  reference.CopyValuesFrom(sender);
+  EXPECT_TRUE(BitIdentical(receiver, reference));
+}
+
+TEST(WirePayloadTest, FullMaskUplinkMatchesDenseBroadcast) {
+  const ParameterStore sender = MakeStore(3);
+  for (const ActivationGranularity granularity :
+       {ActivationGranularity::kTensor, ActivationGranularity::kScalar}) {
+    ActivationOptions options;
+    options.granularity = granularity;
+    const ActivationState state(4, sender, options);  // fresh: all-ones masks
+
+    const WirePayload payload = BuildUplinkPayload(state, 0, 0, sender);
+    EXPECT_EQ(payload.PayloadScalars(), sender.num_scalars());
+
+    WirePayload decoded;
+    ASSERT_TRUE(decoded.Deserialize(payload.Serialize()).ok());
+    ParameterStore receiver = MakeStore(4);
+    ASSERT_TRUE(decoded.ApplyTo(&receiver).ok());
+    ParameterStore reference = MakeStore(4);
+    reference.CopyValuesFrom(sender);
+    EXPECT_TRUE(BitIdentical(receiver, reference));
+  }
+}
+
+TEST(WirePayloadTest, RandomMaskedUplinkRoundTripsAcrossGranularities) {
+  const int kClients = 3;
+  for (const ActivationGranularity granularity :
+       {ActivationGranularity::kTensor, ActivationGranularity::kScalar}) {
+    for (uint64_t trial = 0; trial < 8; ++trial) {
+      const ParameterStore sender = MakeStore(100 + trial);
+      ActivationOptions options;
+      options.granularity = granularity;
+      ActivationState state(kClients, sender, options);
+
+      // Randomize masks with two mean-rule updates over random magnitudes.
+      core::Rng rng(7'000 + trial);
+      std::vector<int> participants(kClients);
+      for (int c = 0; c < kClients; ++c) participants[c] = c;
+      for (int step = 0; step < 2; ++step) {
+        std::vector<std::vector<double>> mags(
+            kClients, std::vector<double>(state.num_units()));
+        for (auto& row : mags) {
+          for (auto& m : row) m = rng.Uniform();
+        }
+        state.UpdateMasks(participants, mags);
+      }
+
+      for (int client = 0; client < kClients; ++client) {
+        const WirePayload payload =
+            BuildUplinkPayload(state, client, /*round=*/3, sender);
+        EXPECT_EQ(payload.PayloadScalars(), state.TransmittedScalars(client));
+
+        const std::vector<uint8_t> bytes = payload.Serialize();
+        ASSERT_EQ(static_cast<int64_t>(bytes.size()), payload.EncodedBytes());
+        WirePayload decoded;
+        ASSERT_TRUE(decoded.Deserialize(bytes).ok());
+        EXPECT_EQ(decoded.EncodedBytes(), payload.EncodedBytes());
+        EXPECT_EQ(decoded.PayloadScalars(), payload.PayloadScalars());
+
+        // Receiver starts from different values; after ApplyTo, exactly the
+        // shipped scalars equal the sender's and the rest are untouched.
+        ParameterStore receiver = MakeStore(200 + trial);
+        const ParameterStore before = receiver;
+        ASSERT_TRUE(decoded.ApplyTo(&receiver).ok());
+        for (int g = 0; g < sender.num_groups(); ++g) {
+          const float* got = receiver.value(g).data();
+          const float* sent = sender.value(g).data();
+          const float* old = before.value(g).data();
+          for (int64_t s = 0; s < sender.value(g).size(); ++s) {
+            if (ScalarShipped(state, client, g, s)) {
+              EXPECT_EQ(got[s], sent[s]) << "group " << g << " scalar " << s;
+            } else {
+              EXPECT_EQ(got[s], old[s]) << "group " << g << " scalar " << s;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(WirePayloadTest, DownlinkShipsExactlyRequestedGroups) {
+  const ParameterStore global = MakeStore(5);
+  const std::vector<int> requested = {1, 3, 4};
+  const WirePayload payload =
+      BuildDownlinkPayload(requested, /*client=*/1, /*round=*/7, global);
+  EXPECT_EQ(payload.kind(), WireKind::kDownlink);
+  int64_t covered = 0;
+  for (int g : requested) covered += global.value(g).size();
+  EXPECT_EQ(payload.CoveredScalars(), covered);
+  EXPECT_EQ(payload.PayloadScalars(), covered);
+
+  WirePayload decoded;
+  ASSERT_TRUE(decoded.Deserialize(payload.Serialize()).ok());
+  ParameterStore receiver = MakeStore(6);
+  const ParameterStore before = receiver;
+  ASSERT_TRUE(decoded.ApplyTo(&receiver).ok());
+  for (int g = 0; g < global.num_groups(); ++g) {
+    const bool shipped =
+        std::find(requested.begin(), requested.end(), g) != requested.end();
+    const Tensor& expect = shipped ? global.value(g) : before.value(g);
+    EXPECT_EQ(std::memcmp(receiver.value(g).data(), expect.data(),
+                          sizeof(float) * expect.size()),
+              0)
+        << "group " << g;
+  }
+}
+
+TEST(WirePayloadTest, EmptyDownlinkIsHeaderOnlyAndHarmless) {
+  const ParameterStore global = MakeStore(8);
+  const WirePayload payload = BuildDownlinkPayload({}, 0, 0, global);
+  EXPECT_EQ(payload.PayloadScalars(), 0);
+  EXPECT_EQ(payload.CoveredScalars(), 0);
+
+  WirePayload decoded;
+  ASSERT_TRUE(decoded.Deserialize(payload.Serialize()).ok());
+  ParameterStore receiver = MakeStore(9);
+  const ParameterStore before = receiver;
+  ASSERT_TRUE(decoded.ApplyTo(&receiver).ok());
+  EXPECT_TRUE(BitIdentical(receiver, before));
+}
+
+TEST(WirePayloadTest, EveryTruncationFailsCleanly) {
+  const ParameterStore sender = MakeStore(10);
+  ActivationOptions options;
+  options.granularity = ActivationGranularity::kScalar;
+  const ActivationState state(2, sender, options);
+  const std::vector<uint8_t> bytes =
+      BuildUplinkPayload(state, 0, 0, sender).Serialize();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WirePayload decoded;
+    const std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(decoded.Deserialize(prefix).ok()) << "prefix length " << len;
+  }
+}
+
+TEST(WirePayloadTest, CorruptHeadersAreRejected) {
+  const ParameterStore sender = MakeStore(11);
+  const std::vector<uint8_t> good =
+      BuildDenseUplinkPayload(AllGroups(sender), 0, 0, sender).Serialize();
+
+  WirePayload decoded;
+  {
+    std::vector<uint8_t> bad = good;
+    bad[0] ^= 0xFF;  // magic
+    EXPECT_FALSE(decoded.Deserialize(bad).ok());
+  }
+  {
+    std::vector<uint8_t> bad = good;
+    bad[4] = 99;  // version
+    EXPECT_FALSE(decoded.Deserialize(bad).ok());
+  }
+  {
+    std::vector<uint8_t> bad = good;
+    bad[8] = 7;  // kind: neither uplink nor downlink
+    EXPECT_FALSE(decoded.Deserialize(bad).ok());
+  }
+  {
+    std::vector<uint8_t> bad = good;
+    bad[24] = 0xFF;  // entry count > total_groups
+    EXPECT_FALSE(decoded.Deserialize(bad).ok());
+  }
+  {
+    std::vector<uint8_t> bad = good;
+    bad.push_back(0);  // trailing byte
+    EXPECT_FALSE(decoded.Deserialize(bad).ok());
+  }
+  // A failed Deserialize leaves the previously decoded payload unchanged.
+  ASSERT_TRUE(decoded.Deserialize(good).ok());
+  const int64_t encoded = decoded.EncodedBytes();
+  std::vector<uint8_t> bad = good;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(decoded.Deserialize(bad).ok());
+  EXPECT_EQ(decoded.EncodedBytes(), encoded);
+  EXPECT_EQ(decoded.groups().size(), static_cast<size_t>(5));
+}
+
+TEST(WirePayloadTest, NonCanonicalMaskPaddingIsRejected) {
+  // Single disentangled 1x3 group at scalar granularity: the payload is
+  // header (28) + entry header (13) + one mask byte + values, so the mask
+  // byte sits at offset 41 and bits 3..7 are padding.
+  core::Rng rng(12);
+  ParameterStore store;
+  store.Register("ent", Tensor::RandomNormal(1, 3, &rng),
+                 /*disentangled=*/true, /*edge_type=*/0);
+  ActivationOptions options;
+  options.granularity = ActivationGranularity::kScalar;
+  const ActivationState state(1, store, options);
+  std::vector<uint8_t> bytes = BuildUplinkPayload(state, 0, 0, store)
+                                   .Serialize();
+  ASSERT_EQ(bytes.size(), 28u + 13u + 1u + 3u * sizeof(float));
+  WirePayload decoded;
+  ASSERT_TRUE(decoded.Deserialize(bytes).ok());
+  bytes[41] |= 0x80;  // set a padding bit
+  EXPECT_FALSE(decoded.Deserialize(bytes).ok());
+}
+
+TEST(WirePayloadTest, ApplyToRejectsLayoutMismatch) {
+  const ParameterStore sender = MakeStore(13);
+  const WirePayload payload =
+      BuildDenseUplinkPayload(AllGroups(sender), 0, 0, sender);
+
+  core::Rng rng(14);
+  ParameterStore fewer_groups;
+  fewer_groups.Register("only", Tensor::RandomNormal(3, 5, &rng));
+  EXPECT_FALSE(payload.ApplyTo(&fewer_groups).ok());
+
+  // Same group count, wrong group size.
+  ParameterStore wrong_size;
+  wrong_size.Register("dense0", Tensor::RandomNormal(3, 5, &rng));
+  wrong_size.Register("ent_a", Tensor::RandomNormal(2, 7, &rng), true, 0);
+  wrong_size.Register("ent_b", Tensor::RandomNormal(1, 2, &rng), true, 1);
+  wrong_size.Register("dense1", Tensor::RandomNormal(1, 4, &rng));
+  wrong_size.Register("ent_c", Tensor::RandomNormal(5, 5, &rng), true, 2);
+  EXPECT_FALSE(payload.ApplyTo(&wrong_size).ok());
+}
+
+}  // namespace
+}  // namespace fedda::fl
