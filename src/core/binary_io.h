@@ -18,7 +18,8 @@ class BinaryWriter {
   BinaryWriter() = default;
   BinaryWriter(const BinaryWriter&) = delete;
   BinaryWriter& operator=(const BinaryWriter&) = delete;
-  ~BinaryWriter() { Close(); }
+  // A failure here is unreportable; callers that care call Close() directly.
+  ~BinaryWriter() { (void)Close(); }
 
   /// Opens `path` for writing (truncates).
   Status Open(const std::string& path);
@@ -35,7 +36,7 @@ class BinaryWriter {
   /// Raw byte block (no length prefix; callers write the count first).
   void WriteBytes(const std::vector<uint8_t>& bytes);
 
-  const Status& status() const { return status_; }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// Flushes and closes; returns the accumulated status.
   Status Close();
@@ -68,9 +69,9 @@ class BinaryReader {
   /// Reads exactly `count` raw bytes.
   std::vector<uint8_t> ReadBytes(size_t count);
 
-  const Status& status() const { return status_; }
+  [[nodiscard]] const Status& status() const { return status_; }
   /// True when the stream is positioned at end-of-file with no errors.
-  bool AtEof();
+  [[nodiscard]] bool AtEof();
 
  private:
   void ReadRaw(void* data, size_t size);
@@ -134,11 +135,13 @@ class ByteReader {
   /// Reads exactly `count` raw bytes.
   std::vector<uint8_t> ReadBytes(size_t count);
 
-  const Status& status() const { return status_; }
+  [[nodiscard]] const Status& status() const { return status_; }
   /// Bytes left to read (0 after a failure).
-  size_t remaining() const { return status_.ok() ? size_ - pos_ : 0; }
+  [[nodiscard]] size_t remaining() const {
+    return status_.ok() ? size_ - pos_ : 0;
+  }
   /// True when the whole buffer was consumed with no errors.
-  bool AtEnd() const { return status_.ok() && pos_ == size_; }
+  [[nodiscard]] bool AtEnd() const { return status_.ok() && pos_ == size_; }
 
  private:
   void ReadRaw(void* data, size_t size);

@@ -18,7 +18,8 @@ class CsvWriter {
   CsvWriter& operator=(const CsvWriter&) = delete;
 
   /// Opens `path` for writing (truncates) and emits `header` as first row.
-  Status Open(const std::string& path, const std::vector<std::string>& header);
+  [[nodiscard]] Status Open(const std::string& path,
+                            const std::vector<std::string>& header);
 
   /// Appends one row. Must be called after a successful Open().
   void WriteRow(const std::vector<std::string>& fields);

@@ -34,7 +34,7 @@ class FlagParser {
 
   /// Parses argv; supports `--name=value` and `--help`. On `--help`, prints
   /// usage and returns a non-OK status so the caller can exit.
-  Status Parse(int argc, char** argv);
+  [[nodiscard]] Status Parse(int argc, char** argv);
 
   /// Renders the flag list with defaults and help strings.
   std::string Usage() const;

@@ -23,14 +23,18 @@ enum class StatusCode {
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
 /// ...).
-const char* StatusCodeToString(StatusCode code);
+[[nodiscard]] const char* StatusCodeToString(StatusCode code);
 
 /// A lightweight success-or-error result for recoverable failures.
 ///
 /// The library does not use exceptions; functions that can fail in ways the
 /// caller is expected to handle return `Status` (or `Result<T>`).
 /// Programming errors are handled by the CHECK macros in `check.h` instead.
-class Status {
+///
+/// The class is `[[nodiscard]]`: silently dropping a returned Status is a
+/// compile-time warning (an error under FEDDA_WERROR=ON). The rare caller
+/// that genuinely cannot act on a failure casts to void with a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -68,9 +72,9 @@ class Status {
     return Status(StatusCode::kIoError, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -87,17 +91,19 @@ inline bool operator==(const Status& a, const Status& b) {
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// Either a value of type T or an error `Status`. Accessing `value()` on an
-/// error result aborts (see check.h); test `ok()` first.
+/// error result aborts (see check.h); test `ok()` first. Like Status, the
+/// type is `[[nodiscard]]`: ignoring a returned Result discards both the
+/// value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or a non-OK status keeps call sites
   /// terse (`return 42;` / `return Status::NotFound(...)`).
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
   Result(Status status) : status_(std::move(status)) {}
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& { return value_; }
   T& value() & { return value_; }

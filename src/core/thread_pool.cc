@@ -6,6 +6,8 @@
 
 namespace fedda::core {
 
+thread_local const ThreadPool* ThreadPool::current_worker_pool_ = nullptr;
+
 ThreadPool::ThreadPool(int num_threads) {
   FEDDA_CHECK_GE(num_threads, 0);
   workers_.reserve(num_threads);
@@ -37,6 +39,11 @@ void ThreadPool::Schedule(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  FEDDA_CHECK(current_worker_pool_ != this)
+      << "— ThreadPool::Wait() called from inside a worker task of the same "
+         "pool. The calling task counts as in-flight, so the wait could "
+         "never return; use ParallelFor/ParallelForRange for nested "
+         "parallelism instead.";
   if (workers_.empty()) return;
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
@@ -105,6 +112,7 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
 }
 
 void ThreadPool::WorkerLoop() {
+  current_worker_pool_ = this;
   while (true) {
     std::function<void()> task;
     {

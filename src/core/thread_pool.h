@@ -30,8 +30,9 @@ class ThreadPool {
   /// Tasks may Schedule further tasks; Wait() covers those as well.
   void Schedule(std::function<void()> task);
 
-  /// Blocks until every scheduled task has finished. Must not be called from
-  /// inside a worker task (the caller's own task counts as in-flight). Use
+  /// Blocks until every scheduled task has finished. Calling it from inside
+  /// a worker task of the same pool CHECK-fails immediately (the caller's
+  /// own task counts as in-flight, so it could never return). Use
   /// ParallelFor/ParallelForRange for nested parallelism instead.
   void Wait();
 
@@ -69,6 +70,10 @@ class ThreadPool {
 
   void WorkerLoop();
   static void RunChunks(const std::shared_ptr<ForLoop>& loop);
+
+  /// The pool whose WorkerLoop owns the current thread (null on non-worker
+  /// threads). Lets Wait() detect the deadlocking call-from-worker case.
+  static thread_local const ThreadPool* current_worker_pool_;
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -112,12 +112,12 @@ class ActivationState {
   /// Persists the dynamic state (active set + masks, bit-packed via the
   /// fl/wire.h codec) plus the deactivation options so a server can resume
   /// a FedDA run after a crash: pair with a ParameterStore checkpoint.
-  core::Status Save(const std::string& path) const;
+  [[nodiscard]] core::Status Save(const std::string& path) const;
   /// Restores state saved by Save(); the layout (client count, granularity,
   /// unit count) and — for v2 files — the deactivation options (alpha,
   /// threshold rule, percentile) must match this instance's construction.
   /// Legacy v1 files (unpacked masks, no options) still load.
-  core::Status Load(const std::string& path);
+  [[nodiscard]] core::Status Load(const std::string& path);
 
   // -- Layout helpers shared with the runner --------------------------------
   /// Maps unit index -> parameter group id.

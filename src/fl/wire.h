@@ -87,7 +87,7 @@ class WirePayload {
 
   /// Parses `bytes` into this payload. Truncated or corrupt input returns
   /// a non-OK Status and leaves the payload unchanged; it never crashes.
-  core::Status Deserialize(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] core::Status Deserialize(const std::vector<uint8_t>& bytes);
 
   /// Writes the carried values into `store`: dense entries overwrite the
   /// whole group, masked entries overwrite only active scalars (inactive
@@ -95,7 +95,7 @@ class WirePayload {
   /// dense — a full-mask payload — this is bit-identical to
   /// ParameterStore::CopyValuesFrom. Fails if the payload does not match
   /// the store's layout.
-  core::Status ApplyTo(tensor::ParameterStore* store) const;
+  [[nodiscard]] core::Status ApplyTo(tensor::ParameterStore* store) const;
 
  private:
   friend WirePayload BuildUplinkPayload(const ActivationState& state,

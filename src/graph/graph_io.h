@@ -11,10 +11,10 @@ namespace fedda::graph {
 /// Persists a heterograph (schema, nodes, features, edges) to a compact
 /// binary file, so an expensive synthesis or external import can be reused
 /// across runs.
-core::Status SaveGraph(const HeteroGraph& graph, const std::string& path);
+[[nodiscard]] core::Status SaveGraph(const HeteroGraph& graph, const std::string& path);
 
 /// Loads a graph written by SaveGraph.
-core::Status LoadGraph(const std::string& path, HeteroGraph* graph);
+[[nodiscard]] core::Status LoadGraph(const std::string& path, HeteroGraph* graph);
 
 /// Imports a heterograph from two tab-separated text files — the adoption
 /// path for real datasets.
@@ -26,9 +26,9 @@ core::Status LoadGraph(const std::string& path, HeteroGraph* graph);
 ///   Edge types are declared on first use; their endpoint node types are
 ///   fixed by the first edge and validated on every subsequent one.
 /// Lines starting with '#' and blank lines are ignored in both files.
-core::Status LoadGraphFromTsv(const std::string& nodes_path,
-                              const std::string& edges_path,
-                              HeteroGraph* graph);
+[[nodiscard]] core::Status LoadGraphFromTsv(const std::string& nodes_path,
+                                            const std::string& edges_path,
+                                            HeteroGraph* graph);
 
 }  // namespace fedda::graph
 

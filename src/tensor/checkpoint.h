@@ -11,19 +11,19 @@ namespace fedda::tensor {
 /// Writes a ParameterStore checkpoint: magic + version header, then for
 /// every group its name, shape, disentangled flag, edge type and values.
 /// Gradients are not persisted (they are transient per-batch state).
-core::Status SaveCheckpoint(const ParameterStore& store,
-                            const std::string& path);
+[[nodiscard]] core::Status SaveCheckpoint(const ParameterStore& store,
+                                          const std::string& path);
 
 /// Loads a checkpoint written by SaveCheckpoint into an empty
 /// ParameterStore (groups are registered in file order, so group ids match
 /// the saved store).
-core::Status LoadCheckpoint(const std::string& path, ParameterStore* store);
+[[nodiscard]] core::Status LoadCheckpoint(const std::string& path, ParameterStore* store);
 
 /// Loads values from a checkpoint into an existing store with a matching
 /// structure (names and shapes verified); used to restore a trained model
 /// into an already-built federated system.
-core::Status RestoreCheckpointValues(const std::string& path,
-                                     ParameterStore* store);
+[[nodiscard]] core::Status RestoreCheckpointValues(const std::string& path,
+                                                   ParameterStore* store);
 
 }  // namespace fedda::tensor
 

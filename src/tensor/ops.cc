@@ -77,10 +77,10 @@ Var Add(Graph* g, Var a, Var b) {
   out.Add(bv);
   const bool rg = AnyRequiresGrad(*g, {a, b});
   return g->AddNode(std::move(out), {a, b},
-                    [a, b](Graph* g, Var self) {
-                      const Tensor& dy = g->grad(self);
-                      if (g->requires_grad(a)) g->mutable_grad(a).Add(dy);
-                      if (g->requires_grad(b)) g->mutable_grad(b).Add(dy);
+                    [a, b](Graph* bg, Var self) {
+                      const Tensor& dy = bg->grad(self);
+                      if (bg->requires_grad(a)) bg->mutable_grad(a).Add(dy);
+                      if (bg->requires_grad(b)) bg->mutable_grad(b).Add(dy);
                     },
                     rg);
 }
@@ -92,10 +92,10 @@ Var Sub(Graph* g, Var a, Var b) {
   Tensor out = av.Sub(bv);
   const bool rg = AnyRequiresGrad(*g, {a, b});
   return g->AddNode(std::move(out), {a, b},
-                    [a, b](Graph* g, Var self) {
-                      const Tensor& dy = g->grad(self);
-                      if (g->requires_grad(a)) g->mutable_grad(a).Add(dy);
-                      if (g->requires_grad(b)) g->mutable_grad(b).Axpy(-1.0f, dy);
+                    [a, b](Graph* bg, Var self) {
+                      const Tensor& dy = bg->grad(self);
+                      if (bg->requires_grad(a)) bg->mutable_grad(a).Add(dy);
+                      if (bg->requires_grad(b)) bg->mutable_grad(b).Axpy(-1.0f, dy);
                     },
                     rg);
 }
@@ -114,25 +114,25 @@ Var Mul(Graph* g, Var a, Var b) {
   const bool rg = AnyRequiresGrad(*g, {a, b});
   return g->AddNode(
       std::move(out), {a, b},
-      [a, b](Graph* g, Var self) {
-        const Tensor& dy = g->grad(self);
-        if (g->requires_grad(a)) {
-          Tensor& da = g->mutable_grad(a);
-          const Tensor& bv = g->value(b);
-          ParallelChunks(g, dy.size(), kElementGrain,
-                         [&da, &dy, &bv](int64_t begin, int64_t end) {
+      [a, b](Graph* bg, Var self) {
+        const Tensor& dy = bg->grad(self);
+        if (bg->requires_grad(a)) {
+          Tensor& da = bg->mutable_grad(a);
+          const Tensor& b_in = bg->value(b);
+          ParallelChunks(bg, dy.size(), kElementGrain,
+                         [&da, &dy, &b_in](int64_t begin, int64_t end) {
                            for (int64_t i = begin; i < end; ++i) {
-                             da.data()[i] += dy.data()[i] * bv.data()[i];
+                             da.data()[i] += dy.data()[i] * b_in.data()[i];
                            }
                          });
         }
-        if (g->requires_grad(b)) {
-          Tensor& db = g->mutable_grad(b);
-          const Tensor& av = g->value(a);
-          ParallelChunks(g, dy.size(), kElementGrain,
-                         [&db, &dy, &av](int64_t begin, int64_t end) {
+        if (bg->requires_grad(b)) {
+          Tensor& db = bg->mutable_grad(b);
+          const Tensor& a_in = bg->value(a);
+          ParallelChunks(bg, dy.size(), kElementGrain,
+                         [&db, &dy, &a_in](int64_t begin, int64_t end) {
                            for (int64_t i = begin; i < end; ++i) {
-                             db.data()[i] += dy.data()[i] * av.data()[i];
+                             db.data()[i] += dy.data()[i] * a_in.data()[i];
                            }
                          });
         }
@@ -145,9 +145,9 @@ Var Scale(Graph* g, Var a, float alpha) {
   out.Scale(alpha);
   const bool rg = g->requires_grad(a);
   return g->AddNode(std::move(out), {a},
-                    [a, alpha](Graph* g, Var self) {
-                      if (g->requires_grad(a)) {
-                        g->mutable_grad(a).Axpy(alpha, g->grad(self));
+                    [a, alpha](Graph* bg, Var self) {
+                      if (bg->requires_grad(a)) {
+                        bg->mutable_grad(a).Axpy(alpha, bg->grad(self));
                       }
                     },
                     rg);
@@ -158,9 +158,9 @@ Var AddScalar(Graph* g, Var a, float alpha) {
   for (int64_t i = 0; i < out.size(); ++i) out.data()[i] += alpha;
   const bool rg = g->requires_grad(a);
   return g->AddNode(std::move(out), {a},
-                    [a](Graph* g, Var self) {
-                      if (g->requires_grad(a)) {
-                        g->mutable_grad(a).Add(g->grad(self));
+                    [a](Graph* bg, Var self) {
+                      if (bg->requires_grad(a)) {
+                        bg->mutable_grad(a).Add(bg->grad(self));
                       }
                     },
                     rg);
@@ -173,15 +173,15 @@ Var MatMul(Graph* g, Var a, Var b) {
   const bool rg = AnyRequiresGrad(*g, {a, b});
   return g->AddNode(
       std::move(out), {a, b},
-      [a, b](Graph* g, Var self) {
-        const Tensor& dy = g->grad(self);
-        if (g->requires_grad(a)) {
-          g->mutable_grad(a).Add(
-              MatMulValue(dy, g->value(b).Transposed(), g->pool()));
+      [a, b](Graph* bg, Var self) {
+        const Tensor& dy = bg->grad(self);
+        if (bg->requires_grad(a)) {
+          bg->mutable_grad(a).Add(
+              MatMulValue(dy, bg->value(b).Transposed(), bg->pool()));
         }
-        if (g->requires_grad(b)) {
-          g->mutable_grad(b).Add(
-              MatMulValue(g->value(a).Transposed(), dy, g->pool()));
+        if (bg->requires_grad(b)) {
+          bg->mutable_grad(b).Add(
+              MatMulValue(bg->value(a).Transposed(), dy, bg->pool()));
         }
       },
       rg);
@@ -201,11 +201,11 @@ Var AddBias(Graph* g, Var a, Var bias) {
   const bool rg = AnyRequiresGrad(*g, {a, bias});
   return g->AddNode(
       std::move(out), {a, bias},
-      [a, bias](Graph* g, Var self) {
-        const Tensor& dy = g->grad(self);
-        if (g->requires_grad(a)) g->mutable_grad(a).Add(dy);
-        if (g->requires_grad(bias)) {
-          Tensor& db = g->mutable_grad(bias);
+      [a, bias](Graph* bg, Var self) {
+        const Tensor& dy = bg->grad(self);
+        if (bg->requires_grad(a)) bg->mutable_grad(a).Add(dy);
+        if (bg->requires_grad(bias)) {
+          Tensor& db = bg->mutable_grad(bias);
           for (int64_t r = 0; r < dy.rows(); ++r) {
             for (int64_t c = 0; c < dy.cols(); ++c) {
               db.at(0, c) += dy.at(r, c);
@@ -229,17 +229,17 @@ Var LeakyRelu(Graph* g, Var a, float slope) {
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
-      [a, slope](Graph* g, Var self) {
-        if (!g->requires_grad(a)) return;
-        const Tensor& dy = g->grad(self);
-        const Tensor& av = g->value(a);
-        Tensor& da = g->mutable_grad(a);
-        ParallelChunks(g, dy.size(), kElementGrain,
-                       [&da, &dy, &av, slope](int64_t begin, int64_t end) {
+      [a, slope](Graph* bg, Var self) {
+        if (!bg->requires_grad(a)) return;
+        const Tensor& dy = bg->grad(self);
+        const Tensor& a_in = bg->value(a);
+        Tensor& da = bg->mutable_grad(a);
+        ParallelChunks(bg, dy.size(), kElementGrain,
+                       [&da, &dy, &a_in, slope](int64_t begin, int64_t end) {
                          for (int64_t i = begin; i < end; ++i) {
                            da.data()[i] +=
                                dy.data()[i] *
-                               (av.data()[i] > 0.0f ? 1.0f : slope);
+                               (a_in.data()[i] > 0.0f ? 1.0f : slope);
                          }
                        });
       },
@@ -259,19 +259,19 @@ Var Elu(Graph* g, Var a, float alpha) {
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
-      [a, alpha](Graph* g, Var self) {
-        if (!g->requires_grad(a)) return;
-        const Tensor& dy = g->grad(self);
-        const Tensor& av = g->value(a);
-        const Tensor& yv = g->value(self);
-        Tensor& da = g->mutable_grad(a);
+      [a, alpha](Graph* bg, Var self) {
+        if (!bg->requires_grad(a)) return;
+        const Tensor& dy = bg->grad(self);
+        const Tensor& a_in = bg->value(a);
+        const Tensor& yv = bg->value(self);
+        Tensor& da = bg->mutable_grad(a);
         ParallelChunks(
-            g, dy.size(), kElementGrain,
-            [&da, &dy, &av, &yv, alpha](int64_t begin, int64_t end) {
+            bg, dy.size(), kElementGrain,
+            [&da, &dy, &a_in, &yv, alpha](int64_t begin, int64_t end) {
               for (int64_t i = begin; i < end; ++i) {
                 // d/dx elu = 1 for x > 0, else elu(x) + alpha.
                 const float d =
-                    av.data()[i] > 0.0f ? 1.0f : yv.data()[i] + alpha;
+                    a_in.data()[i] > 0.0f ? 1.0f : yv.data()[i] + alpha;
                 da.data()[i] += dy.data()[i] * d;
               }
             });
@@ -291,12 +291,12 @@ Var Sigmoid(Graph* g, Var a) {
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
-      [a](Graph* g, Var self) {
-        if (!g->requires_grad(a)) return;
-        const Tensor& dy = g->grad(self);
-        const Tensor& yv = g->value(self);
-        Tensor& da = g->mutable_grad(a);
-        ParallelChunks(g, dy.size(), kElementGrain,
+      [a](Graph* bg, Var self) {
+        if (!bg->requires_grad(a)) return;
+        const Tensor& dy = bg->grad(self);
+        const Tensor& yv = bg->value(self);
+        Tensor& da = bg->mutable_grad(a);
+        ParallelChunks(bg, dy.size(), kElementGrain,
                        [&da, &dy, &yv](int64_t begin, int64_t end) {
                          for (int64_t i = begin; i < end; ++i) {
                            const float s = yv.data()[i];
@@ -319,12 +319,12 @@ Var Tanh(Graph* g, Var a) {
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
-      [a](Graph* g, Var self) {
-        if (!g->requires_grad(a)) return;
-        const Tensor& dy = g->grad(self);
-        const Tensor& yv = g->value(self);
-        Tensor& da = g->mutable_grad(a);
-        ParallelChunks(g, dy.size(), kElementGrain,
+      [a](Graph* bg, Var self) {
+        if (!bg->requires_grad(a)) return;
+        const Tensor& dy = bg->grad(self);
+        const Tensor& yv = bg->value(self);
+        Tensor& da = bg->mutable_grad(a);
+        ParallelChunks(bg, dy.size(), kElementGrain,
                        [&da, &dy, &yv](int64_t begin, int64_t end) {
                          for (int64_t i = begin; i < end; ++i) {
                            const float t = yv.data()[i];
@@ -347,12 +347,12 @@ Var Exp(Graph* g, Var a) {
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
-      [a](Graph* g, Var self) {
-        if (!g->requires_grad(a)) return;
-        const Tensor& dy = g->grad(self);
-        const Tensor& yv = g->value(self);
-        Tensor& da = g->mutable_grad(a);
-        ParallelChunks(g, dy.size(), kElementGrain,
+      [a](Graph* bg, Var self) {
+        if (!bg->requires_grad(a)) return;
+        const Tensor& dy = bg->grad(self);
+        const Tensor& yv = bg->value(self);
+        Tensor& da = bg->mutable_grad(a);
+        ParallelChunks(bg, dy.size(), kElementGrain,
                        [&da, &dy, &yv](int64_t begin, int64_t end) {
                          for (int64_t i = begin; i < end; ++i) {
                            da.data()[i] += dy.data()[i] * yv.data()[i];
@@ -372,15 +372,15 @@ Var Log(Graph* g, Var a) {
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
-      [a](Graph* g, Var self) {
-        if (!g->requires_grad(a)) return;
-        const Tensor& dy = g->grad(self);
-        const Tensor& av = g->value(a);
-        Tensor& da = g->mutable_grad(a);
-        ParallelChunks(g, dy.size(), kElementGrain,
-                       [&da, &dy, &av](int64_t begin, int64_t end) {
+      [a](Graph* bg, Var self) {
+        if (!bg->requires_grad(a)) return;
+        const Tensor& dy = bg->grad(self);
+        const Tensor& a_in = bg->value(a);
+        Tensor& da = bg->mutable_grad(a);
+        ParallelChunks(bg, dy.size(), kElementGrain,
+                       [&da, &dy, &a_in](int64_t begin, int64_t end) {
                          for (int64_t i = begin; i < end; ++i) {
-                           da.data()[i] += dy.data()[i] / av.data()[i];
+                           da.data()[i] += dy.data()[i] / a_in.data()[i];
                          }
                        });
       },
@@ -394,10 +394,10 @@ Var Sum(Graph* g, Var a) {
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
-      [a](Graph* g, Var self) {
-        if (!g->requires_grad(a)) return;
-        const float dy = g->grad(self).at(0, 0);
-        Tensor& da = g->mutable_grad(a);
+      [a](Graph* bg, Var self) {
+        if (!bg->requires_grad(a)) return;
+        const float dy = bg->grad(self).at(0, 0);
+        Tensor& da = bg->mutable_grad(a);
         for (int64_t i = 0; i < da.size(); ++i) da.data()[i] += dy;
       },
       rg);
@@ -412,10 +412,10 @@ Var Mean(Graph* g, Var a) {
   const float inv = 1.0f / static_cast<float>(av.size());
   return g->AddNode(
       std::move(out), {a},
-      [a, inv](Graph* g, Var self) {
-        if (!g->requires_grad(a)) return;
-        const float dy = g->grad(self).at(0, 0) * inv;
-        Tensor& da = g->mutable_grad(a);
+      [a, inv](Graph* bg, Var self) {
+        if (!bg->requires_grad(a)) return;
+        const float dy = bg->grad(self).at(0, 0) * inv;
+        Tensor& da = bg->mutable_grad(a);
         for (int64_t i = 0; i < da.size(); ++i) da.data()[i] += dy;
       },
       rg);
@@ -439,17 +439,17 @@ Var GatherRows(Graph* g, Var a,
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
-      [a, indices](Graph* g, Var self) {
-        if (!g->requires_grad(a)) return;
-        const Tensor& dy = g->grad(self);
-        Tensor& da = g->mutable_grad(a);
-        const int64_t cols = dy.cols();
-        if (g->pool() == nullptr) {
+      [a, indices](Graph* bg, Var self) {
+        if (!bg->requires_grad(a)) return;
+        const Tensor& dy = bg->grad(self);
+        Tensor& da = bg->mutable_grad(a);
+        const int64_t n_cols = dy.cols();
+        if (bg->pool() == nullptr) {
           for (size_t i = 0; i < indices->size(); ++i) {
             const int32_t r = (*indices)[i];
-            const float* src = dy.data() + static_cast<int64_t>(i) * cols;
-            float* dst = da.data() + r * cols;
-            for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+            const float* src = dy.data() + static_cast<int64_t>(i) * n_cols;
+            float* dst = da.data() + r * n_cols;
+            for (int64_t c = 0; c < n_cols; ++c) dst[c] += src[c];
           }
           return;
         }
@@ -459,15 +459,15 @@ Var GatherRows(Graph* g, Var a,
         // floats.
         const RowGroups groups = GroupByRow(*indices, da.rows());
         ParallelChunks(
-            g, da.rows(), RowGrain(cols),
-            [&da, &dy, &groups, cols](int64_t begin, int64_t end) {
+            bg, da.rows(), RowGrain(n_cols),
+            [&da, &dy, &groups, n_cols](int64_t begin, int64_t end) {
               for (int64_t r = begin; r < end; ++r) {
-                float* dst = da.data() + r * cols;
+                float* dst = da.data() + r * n_cols;
                 for (int64_t p = groups.offsets[static_cast<size_t>(r)];
                      p < groups.offsets[static_cast<size_t>(r) + 1]; ++p) {
                   const int64_t i = groups.order[static_cast<size_t>(p)];
-                  const float* src = dy.data() + i * cols;
-                  for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+                  const float* src = dy.data() + i * n_cols;
+                  for (int64_t c = 0; c < n_cols; ++c) dst[c] += src[c];
                 }
               }
             });
@@ -513,21 +513,21 @@ Var ScatterAddRows(Graph* g, Var a,
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
-      [a, indices](Graph* g, Var self) {
-        if (!g->requires_grad(a)) return;
-        const Tensor& dy = g->grad(self);
-        Tensor& da = g->mutable_grad(a);
-        const int64_t cols = dy.cols();
+      [a, indices](Graph* bg, Var self) {
+        if (!bg->requires_grad(a)) return;
+        const Tensor& dy = bg->grad(self);
+        Tensor& da = bg->mutable_grad(a);
+        const int64_t n_cols = dy.cols();
         // Backward of scatter-add is a gather: output positions are
         // independent, so chunking over them is race-free.
         ParallelChunks(
-            g, static_cast<int64_t>(indices->size()), RowGrain(cols),
-            [&da, &dy, &indices, cols](int64_t begin, int64_t end) {
+            bg, static_cast<int64_t>(indices->size()), RowGrain(n_cols),
+            [&da, &dy, &indices, n_cols](int64_t begin, int64_t end) {
               for (int64_t i = begin; i < end; ++i) {
                 const int32_t r = (*indices)[static_cast<size_t>(i)];
-                const float* src = dy.data() + r * cols;
-                float* dst = da.data() + i * cols;
-                for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+                const float* src = dy.data() + r * n_cols;
+                float* dst = da.data() + i * n_cols;
+                for (int64_t c = 0; c < n_cols; ++c) dst[c] += src[c];
               }
             });
       },
@@ -596,13 +596,13 @@ Var SegmentSoftmax(Graph* g, Var logits,
   const bool rg = g->requires_grad(logits);
   return g->AddNode(
       std::move(out), {logits},
-      [logits, segment_ids, num_segments](Graph* g, Var self) {
-        if (!g->requires_grad(logits)) return;
-        const Tensor& dy = g->grad(self);
-        const Tensor& yv = g->value(self);
-        Tensor& dl = g->mutable_grad(logits);
+      [logits, segment_ids, num_segments](Graph* bg, Var self) {
+        if (!bg->requires_grad(logits)) return;
+        const Tensor& dy = bg->grad(self);
+        const Tensor& yv = bg->value(self);
+        Tensor& dl = bg->mutable_grad(logits);
         // d l_i = y_i * (dy_i - sum_{j in seg(i)} y_j dy_j)
-        if (g->pool() == nullptr) {
+        if (bg->pool() == nullptr) {
           std::vector<float> seg_dot(static_cast<size_t>(num_segments), 0.0f);
           for (size_t i = 0; i < segment_ids->size(); ++i) {
             seg_dot[(*segment_ids)[i]] += yv.data()[i] * dy.data()[i];
@@ -615,7 +615,7 @@ Var SegmentSoftmax(Graph* g, Var logits,
         }
         const RowGroups groups = GroupByRow(*segment_ids, num_segments);
         ParallelChunks(
-            g, num_segments, /*grain=*/16,
+            bg, num_segments, /*grain=*/16,
             [&dl, &dy, &yv, &groups](int64_t begin, int64_t end) {
               for (int64_t s = begin; s < end; ++s) {
                 const int64_t lo = groups.offsets[static_cast<size_t>(s)];
@@ -658,21 +658,21 @@ Var ConcatCols(Graph* g, const std::vector<Var>& parts) {
   std::vector<Var> inputs = parts;
   return g->AddNode(
       std::move(out), inputs,
-      [inputs](Graph* g, Var self) {
-        const Tensor& dy = g->grad(self);
-        const int64_t total_cols = dy.cols();
-        int64_t offset = 0;
+      [inputs](Graph* bg, Var self) {
+        const Tensor& dy = bg->grad(self);
+        const int64_t n_cols_total = dy.cols();
+        int64_t col_off = 0;
         for (Var p : inputs) {
-          const int64_t pc = g->value(p).cols();
-          if (g->requires_grad(p)) {
-            Tensor& dp = g->mutable_grad(p);
+          const int64_t pc = bg->value(p).cols();
+          if (bg->requires_grad(p)) {
+            Tensor& dp = bg->mutable_grad(p);
             for (int64_t r = 0; r < dy.rows(); ++r) {
-              const float* src = dy.data() + r * total_cols + offset;
+              const float* src = dy.data() + r * n_cols_total + col_off;
               float* dst = dp.data() + r * pc;
               for (int64_t c = 0; c < pc; ++c) dst[c] += src[c];
             }
           }
-          offset += pc;
+          col_off += pc;
         }
       },
       rg);
@@ -698,18 +698,18 @@ Var ConcatRows(Graph* g, const std::vector<Var>& parts) {
   std::vector<Var> inputs = parts;
   return g->AddNode(
       std::move(out), inputs,
-      [inputs](Graph* g, Var self) {
-        const Tensor& dy = g->grad(self);
-        const int64_t cols = dy.cols();
-        int64_t offset = 0;
+      [inputs](Graph* bg, Var self) {
+        const Tensor& dy = bg->grad(self);
+        const int64_t n_cols = dy.cols();
+        int64_t col_off = 0;
         for (Var p : inputs) {
-          const int64_t pr = g->value(p).rows();
-          if (g->requires_grad(p)) {
-            Tensor& dp = g->mutable_grad(p);
-            const float* src = dy.data() + offset * cols;
-            for (int64_t i = 0; i < pr * cols; ++i) dp.data()[i] += src[i];
+          const int64_t pr = bg->value(p).rows();
+          if (bg->requires_grad(p)) {
+            Tensor& dp = bg->mutable_grad(p);
+            const float* src = dy.data() + col_off * n_cols;
+            for (int64_t i = 0; i < pr * n_cols; ++i) dp.data()[i] += src[i];
           }
-          offset += pr;
+          col_off += pr;
         }
       },
       rg);
@@ -738,23 +738,23 @@ Var RowL2Normalize(Graph* g, Var a, float eps) {
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
-      [a, norms](Graph* g, Var self) {
-        if (!g->requires_grad(a)) return;
-        const Tensor& dy = g->grad(self);
-        const Tensor& yv = g->value(self);
-        Tensor& da = g->mutable_grad(a);
-        const int64_t rows = dy.rows(), cols = dy.cols();
+      [a, norms](Graph* bg, Var self) {
+        if (!bg->requires_grad(a)) return;
+        const Tensor& dy = bg->grad(self);
+        const Tensor& yv = bg->value(self);
+        Tensor& da = bg->mutable_grad(a);
+        const int64_t n_rows = dy.rows(), n_cols = dy.cols();
         ParallelChunks(
-            g, rows, RowGrain(cols),
-            [&da, &dy, &yv, &norms, cols](int64_t begin, int64_t end) {
+            bg, n_rows, RowGrain(n_cols),
+            [&da, &dy, &yv, &norms, n_cols](int64_t begin, int64_t end) {
               for (int64_t r = begin; r < end; ++r) {
                 // da_r = (dy_r - y_r * (y_r . dy_r)) / ||a_r||
                 float dot = 0.0f;
-                for (int64_t c = 0; c < cols; ++c) {
+                for (int64_t c = 0; c < n_cols; ++c) {
                   dot += yv.at(r, c) * dy.at(r, c);
                 }
                 const float inv_n = 1.0f / (*norms)[static_cast<size_t>(r)];
-                for (int64_t c = 0; c < cols; ++c) {
+                for (int64_t c = 0; c < n_cols; ++c) {
                   da.at(r, c) += (dy.at(r, c) - yv.at(r, c) * dot) * inv_n;
                 }
               }
@@ -781,25 +781,25 @@ Var RowDot(Graph* g, Var a, Var b) {
   const bool rg = AnyRequiresGrad(*g, {a, b});
   return g->AddNode(
       std::move(out), {a, b},
-      [a, b](Graph* g, Var self) {
-        const Tensor& dy = g->grad(self);
-        const Tensor& av = g->value(a);
-        const Tensor& bv = g->value(b);
-        if (g->requires_grad(a)) {
-          Tensor& da = g->mutable_grad(a);
-          for (int64_t r = 0; r < av.rows(); ++r) {
+      [a, b](Graph* bg, Var self) {
+        const Tensor& dy = bg->grad(self);
+        const Tensor& a_in = bg->value(a);
+        const Tensor& b_in = bg->value(b);
+        if (bg->requires_grad(a)) {
+          Tensor& da = bg->mutable_grad(a);
+          for (int64_t r = 0; r < a_in.rows(); ++r) {
             const float d = dy.at(r, 0);
-            for (int64_t c = 0; c < av.cols(); ++c) {
-              da.at(r, c) += d * bv.at(r, c);
+            for (int64_t c = 0; c < a_in.cols(); ++c) {
+              da.at(r, c) += d * b_in.at(r, c);
             }
           }
         }
-        if (g->requires_grad(b)) {
-          Tensor& db = g->mutable_grad(b);
-          for (int64_t r = 0; r < av.rows(); ++r) {
+        if (bg->requires_grad(b)) {
+          Tensor& db = bg->mutable_grad(b);
+          for (int64_t r = 0; r < a_in.rows(); ++r) {
             const float d = dy.at(r, 0);
-            for (int64_t c = 0; c < av.cols(); ++c) {
-              db.at(r, c) += d * av.at(r, c);
+            for (int64_t c = 0; c < a_in.cols(); ++c) {
+              db.at(r, c) += d * a_in.at(r, c);
             }
           }
         }
@@ -825,25 +825,25 @@ Var RowScale(Graph* g, Var a, Var s) {
   const bool rg = AnyRequiresGrad(*g, {a, s});
   return g->AddNode(
       std::move(out), {a, s},
-      [a, s](Graph* g, Var self) {
-        const Tensor& dy = g->grad(self);
-        const Tensor& av = g->value(a);
-        const Tensor& sv = g->value(s);
-        if (g->requires_grad(a)) {
-          Tensor& da = g->mutable_grad(a);
+      [a, s](Graph* bg, Var self) {
+        const Tensor& dy = bg->grad(self);
+        const Tensor& a_in = bg->value(a);
+        const Tensor& s_in = bg->value(s);
+        if (bg->requires_grad(a)) {
+          Tensor& da = bg->mutable_grad(a);
           for (int64_t r = 0; r < dy.rows(); ++r) {
-            const float f = sv.at(r, 0);
+            const float f = s_in.at(r, 0);
             for (int64_t c = 0; c < dy.cols(); ++c) {
               da.at(r, c) += f * dy.at(r, c);
             }
           }
         }
-        if (g->requires_grad(s)) {
-          Tensor& ds = g->mutable_grad(s);
+        if (bg->requires_grad(s)) {
+          Tensor& ds = bg->mutable_grad(s);
           for (int64_t r = 0; r < dy.rows(); ++r) {
             float dot = 0.0f;
             for (int64_t c = 0; c < dy.cols(); ++c) {
-              dot += av.at(r, c) * dy.at(r, c);
+              dot += a_in.at(r, c) * dy.at(r, c);
             }
             ds.at(r, 0) += dot;
           }
@@ -870,14 +870,14 @@ Var BceWithLogits(Graph* g, Var logits, const Tensor& labels) {
   auto labels_copy = std::make_shared<Tensor>(labels);
   return g->AddNode(
       std::move(out), {logits},
-      [logits, labels_copy](Graph* g, Var self) {
-        if (!g->requires_grad(logits)) return;
-        const float dy = g->grad(self).at(0, 0);
-        const Tensor& zv = g->value(logits);
-        Tensor& dz = g->mutable_grad(logits);
-        const float inv_n = 1.0f / static_cast<float>(zv.rows());
-        for (int64_t i = 0; i < zv.rows(); ++i) {
-          const float sig = 1.0f / (1.0f + std::exp(-zv.at(i, 0)));
+      [logits, labels_copy](Graph* bg, Var self) {
+        if (!bg->requires_grad(logits)) return;
+        const float dy = bg->grad(self).at(0, 0);
+        const Tensor& z_in = bg->value(logits);
+        Tensor& dz = bg->mutable_grad(logits);
+        const float inv_n = 1.0f / static_cast<float>(z_in.rows());
+        for (int64_t i = 0; i < z_in.rows(); ++i) {
+          const float sig = 1.0f / (1.0f + std::exp(-z_in.at(i, 0)));
           dz.at(i, 0) += dy * (sig - labels_copy->at(i, 0)) * inv_n;
         }
       },
@@ -917,15 +917,15 @@ Var SoftmaxCrossEntropy(Graph* g, Var logits,
   const bool rg = g->requires_grad(logits);
   return g->AddNode(
       std::move(out), {logits},
-      [logits, labels, softmax](Graph* g, Var self) {
-        if (!g->requires_grad(logits)) return;
-        const float dy = g->grad(self).at(0, 0);
-        Tensor& dz = g->mutable_grad(logits);
-        const int64_t n = softmax->rows(), c = softmax->cols();
-        const float inv_n = 1.0f / static_cast<float>(n);
-        for (int64_t i = 0; i < n; ++i) {
+      [logits, labels, softmax](Graph* bg, Var self) {
+        if (!bg->requires_grad(logits)) return;
+        const float dy = bg->grad(self).at(0, 0);
+        Tensor& dz = bg->mutable_grad(logits);
+        const int64_t n_rows = softmax->rows(), n_classes = softmax->cols();
+        const float inv_n = 1.0f / static_cast<float>(n_rows);
+        for (int64_t i = 0; i < n_rows; ++i) {
           const int32_t label = (*labels)[static_cast<size_t>(i)];
-          for (int64_t j = 0; j < c; ++j) {
+          for (int64_t j = 0; j < n_classes; ++j) {
             const float onehot = j == label ? 1.0f : 0.0f;
             dz.at(i, j) += dy * (softmax->at(i, j) - onehot) * inv_n;
           }
@@ -950,10 +950,10 @@ Var Dropout(Graph* g, Var a, float p, core::Rng* rng) {
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
-      [a, mask](Graph* g, Var self) {
-        if (!g->requires_grad(a)) return;
-        const Tensor& dy = g->grad(self);
-        Tensor& da = g->mutable_grad(a);
+      [a, mask](Graph* bg, Var self) {
+        if (!bg->requires_grad(a)) return;
+        const Tensor& dy = bg->grad(self);
+        Tensor& da = bg->mutable_grad(a);
         for (int64_t i = 0; i < dy.size(); ++i) {
           da.data()[i] += dy.data()[i] * mask->data()[i];
         }

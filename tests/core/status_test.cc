@@ -1,5 +1,11 @@
 #include "core/status.h"
 
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace fedda::core {
@@ -69,6 +75,99 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::string> r(std::string("payload"));
   std::string v = std::move(r).value();
   EXPECT_EQ(v, "payload");
+}
+
+TEST(StatusTest, StatusCodeToStringIsExhaustive) {
+  // Every enumerator maps to a stable, distinct, non-"Unknown" name. A new
+  // StatusCode added without a switch case falls through to "Unknown" and
+  // fails here.
+  const std::vector<StatusCode> all = {
+      StatusCode::kOk,          StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,    StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,  StatusCode::kFailedPrecondition,
+      StatusCode::kInternal,    StatusCode::kUnimplemented,
+      StatusCode::kIoError};
+  std::vector<std::string> names;
+  for (StatusCode code : all) {
+    const char* name = StatusCodeToString(code);
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "Unknown") << "code " << static_cast<int>(code);
+    names.emplace_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end())
+      << "two StatusCodes share a name";
+}
+
+TEST(StatusTest, CopyPreservesCodeAndMessage) {
+  const Status original = Status::OutOfRange("index 9 of 4");
+  const Status copy = original;            // NOLINT(performance-unnecessary-copy-initialization)
+  Status assigned;
+  assigned = original;
+  EXPECT_EQ(copy, original);
+  EXPECT_EQ(assigned, original);
+  EXPECT_EQ(copy.message(), "index 9 of 4");
+}
+
+TEST(StatusTest, MovePreservesCodeAndMessage) {
+  Status source = Status::IoError("disk gone");
+  const Status moved = std::move(source);
+  EXPECT_EQ(moved.code(), StatusCode::kIoError);
+  EXPECT_EQ(moved.message(), "disk gone");
+  Status target;
+  Status source2 = Status::Internal("boom");
+  target = std::move(source2);
+  EXPECT_EQ(target.code(), StatusCode::kInternal);
+  EXPECT_EQ(target.message(), "boom");
+}
+
+TEST(StatusTest, StreamInsertionMatchesToString) {
+  std::ostringstream os;
+  os << Status::FailedPrecondition("pool already started");
+  EXPECT_EQ(os.str(), "FailedPrecondition: pool already started");
+  std::ostringstream ok;
+  ok << Status::OK();
+  EXPECT_EQ(ok.str(), "OK");
+}
+
+Result<std::vector<int>> MakeRange(int n) {
+  if (n < 0) return Status::InvalidArgument("negative size");
+  std::vector<int> out(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out[static_cast<size_t>(i)] = i;
+  return out;
+}
+
+TEST(ResultTest, ErrorPropagatesThroughCallChain) {
+  const Result<std::vector<int>> ok = MakeRange(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().size(), 3u);
+  const Result<std::vector<int>> bad = MakeRange(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.status().message(), "negative size");
+}
+
+TEST(ResultTest, MoveOnlyStyleValueIsNotCopiedOnMoveAccess) {
+  // Moving the value out must leave the large payload transferred, not
+  // duplicated: the moved-from Result's value is empty afterwards.
+  Result<std::vector<int>> r(std::vector<int>(1000, 7));
+  ASSERT_TRUE(r.ok());
+  const std::vector<int> taken = std::move(r).value();
+  EXPECT_EQ(taken.size(), 1000u);
+  EXPECT_TRUE(r.value().empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(ResultTest, MutableValueAccess) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2});
+  r.value().push_back(3);
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+TEST(ResultTest, ErrorResultStatusSurvivesCopy) {
+  const Result<int> bad(Status::NotFound("missing group"));
+  const Result<int> copy = bad;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_FALSE(copy.ok());
+  EXPECT_EQ(copy.status(), Status::NotFound("missing group"));
 }
 
 }  // namespace

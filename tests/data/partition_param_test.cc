@@ -92,10 +92,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 8, 16),
                        ::testing::Values(0, 1, 3),
                        ::testing::Bool()),
-    [](const ::testing::TestParamInfo<ParamTuple>& info) {
-      return "M" + std::to_string(std::get<0>(info.param)) + "_spec" +
-             std::to_string(std::get<1>(info.param)) +
-             (std::get<2>(info.param) ? "_iid" : "_biased");
+    [](const ::testing::TestParamInfo<ParamTuple>& param_info) {
+      return "M" + std::to_string(std::get<0>(param_info.param)) + "_spec" +
+             std::to_string(std::get<1>(param_info.param)) +
+             (std::get<2>(param_info.param) ? "_iid" : "_biased");
     });
 
 }  // namespace

@@ -91,15 +91,15 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(ActivationGranularity::kTensor,
                           ActivationGranularity::kScalar),
         ::testing::Values(2, 4, 7)),
-    [](const ::testing::TestParamInfo<ParamTuple>& info) {
-      std::string name = FlAlgorithmName(std::get<0>(info.param));
+    [](const ::testing::TestParamInfo<ParamTuple>& param_info) {
+      std::string name = FlAlgorithmName(std::get<0>(param_info.param));
       for (auto& c : name) {
         if (c == '-') c = '_';
       }
-      name += std::get<1>(info.param) == ActivationGranularity::kTensor
+      name += std::get<1>(param_info.param) == ActivationGranularity::kTensor
                   ? "_tensor"
                   : "_scalar";
-      name += "_M" + std::to_string(std::get<2>(info.param));
+      name += "_M" + std::to_string(std::get<2>(param_info.param));
       return name;
     });
 

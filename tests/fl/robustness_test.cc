@@ -97,7 +97,9 @@ TEST_F(RobustnessTest, FedDaSurvivesFailuresWithValidAccounting) {
   for (const RoundRecord& record : result.history) {
     EXPECT_GE(record.participants, 0);
     EXPECT_GE(record.active_after_round, 1);
-    if (record.participants == 0) EXPECT_EQ(record.uplink_groups, 0);
+    if (record.participants == 0) {
+      EXPECT_EQ(record.uplink_groups, 0);
+    }
   }
 }
 

@@ -126,14 +126,14 @@ INSTANTIATE_TEST_SUITE_P(
         ConfigTuple{2, 2, true, true, true, false, DecoderKind::kDistMult},
         // GAT + dot decoder (fully vanilla)
         ConfigTuple{2, 2, true, true, true, false, DecoderKind::kDot}),
-    [](const ::testing::TestParamInfo<ConfigTuple>& info) {
-      std::string name = "L" + std::to_string(std::get<0>(info.param)) + "H" +
-                         std::to_string(std::get<1>(info.param));
-      name += std::get<2>(info.param) ? "_res" : "_nores";
-      name += std::get<3>(info.param) ? "_l2" : "_nol2";
-      name += std::get<4>(info.param) ? "_loops" : "_noloops";
-      name += std::get<5>(info.param) ? "_etattn" : "_gat";
-      name += std::get<6>(info.param) == DecoderKind::kDistMult ? "_distmult"
+    [](const ::testing::TestParamInfo<ConfigTuple>& param_info) {
+      std::string name = "L" + std::to_string(std::get<0>(param_info.param)) + "H" +
+                         std::to_string(std::get<1>(param_info.param));
+      name += std::get<2>(param_info.param) ? "_res" : "_nores";
+      name += std::get<3>(param_info.param) ? "_l2" : "_nol2";
+      name += std::get<4>(param_info.param) ? "_loops" : "_noloops";
+      name += std::get<5>(param_info.param) ? "_etattn" : "_gat";
+      name += std::get<6>(param_info.param) == DecoderKind::kDistMult ? "_distmult"
                                                                 : "_dot";
       return name;
     });

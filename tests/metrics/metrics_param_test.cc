@@ -75,9 +75,9 @@ INSTANTIATE_TEST_SUITE_P(
     SizesAndBalances, AucPropertyTest,
     ::testing::Combine(::testing::Values(2, 10, 100, 1000),
                        ::testing::Values(0.1, 0.5, 0.9)),
-    [](const ::testing::TestParamInfo<ParamTuple>& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_p" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    [](const ::testing::TestParamInfo<ParamTuple>& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_p" +
+             std::to_string(static_cast<int>(std::get<1>(param_info.param) * 100));
     });
 
 class MrrPropertyTest : public ::testing::TestWithParam<int> {};

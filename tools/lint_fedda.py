@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for the fedda tree.
+
+Enforces the contracts the compiler cannot see:
+
+  1. `src/` is exception-free: no `throw` statements or `try` blocks. The
+     library's error discipline is Status/Result + CHECK (see
+     src/core/status.h); an exception anywhere in src/ breaks the contract
+     every caller relies on.
+  2. No `using namespace` at namespace scope in any header: headers are
+     included everywhere and would leak the alias into every TU.
+  3. Include guards follow the FEDDA_<PATH>_H_ convention and match the
+     file's path, so guards can never collide.
+  4. Every `tests/**/*_test.cc` is registered in a CMakeLists.txt: a test
+     file that exists but is not compiled is a silent coverage hole.
+
+Exit code 0 when clean, 1 with one line per violation otherwise.
+
+Usage: tools/lint_fedda.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# `throw` as a statement. Allowed to appear in comments/strings — those are
+# stripped first — and nowhere else. `try` must be the keyword (start of a
+# block), not a substring of an identifier.
+THROW_RE = re.compile(r"\bthrow\b")
+TRY_RE = re.compile(r"\btry\s*\{")
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out //, /* */ comments and string/char literals, preserving
+    line structure so reported line numbers stay valid."""
+    out = []
+    i = 0
+    n = len(text)
+    mode = None  # None | 'line' | 'block' | 'str' | 'chr'
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line":
+            if c == "\n":
+                mode = None
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif mode in ("str", "chr"):
+            quote = '"' if mode == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                mode = None
+            out.append(" " if c != "\n" else "\n")
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(root: Path, path: Path) -> str:
+    rel = path.relative_to(root)
+    parts = list(rel.parts)
+    # Headers under src/ drop the src/ prefix (they are included as
+    # "core/status.h"); bench/ and tests/ keep their directory.
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"[^A-Za-z0-9]", "_", stem).upper()
+    return f"FEDDA_{stem}_"
+
+
+def check_exception_free(root: Path, errors: list[str]) -> None:
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        clean = strip_comments_and_strings(path.read_text())
+        for lineno, line in enumerate(clean.splitlines(), 1):
+            if THROW_RE.search(line):
+                errors.append(
+                    f"{path.relative_to(root)}:{lineno}: `throw` in src/ — "
+                    "the library is exception-free; return a Status instead")
+            if TRY_RE.search(line):
+                errors.append(
+                    f"{path.relative_to(root)}:{lineno}: `try` block in src/ "
+                    "— the library is exception-free; nothing here throws")
+
+
+def check_headers(root: Path, errors: list[str]) -> None:
+    header_dirs = [root / "src", root / "bench", root / "tests"]
+    for base in header_dirs:
+        for path in sorted(base.rglob("*.h")):
+            text = path.read_text()
+            clean = strip_comments_and_strings(text)
+            rel = path.relative_to(root)
+            for lineno, line in enumerate(clean.splitlines(), 1):
+                if USING_NAMESPACE_RE.search(line):
+                    errors.append(
+                        f"{rel}:{lineno}: `using namespace` in a header "
+                        "leaks into every includer; qualify names instead")
+            guard = expected_guard(root, path)
+            ifndef = re.search(r"#ifndef\s+(\S+)", text)
+            define = re.search(r"#define\s+(\S+)", text)
+            endif_ok = re.search(
+                r"#endif\s*//\s*" + re.escape(guard), text)
+            if not ifndef or ifndef.group(1) != guard:
+                got = ifndef.group(1) if ifndef else "<none>"
+                errors.append(
+                    f"{rel}:1: include guard must be {guard} (got {got})")
+            elif not define or define.group(1) != guard:
+                errors.append(
+                    f"{rel}:2: #define must repeat the guard {guard}")
+            elif not endif_ok:
+                errors.append(
+                    f"{rel}: closing #endif must carry `// {guard}`")
+
+
+def check_tests_registered(root: Path, errors: list[str]) -> None:
+    cmake_text = "\n".join(
+        p.read_text() for p in (root / "tests").rglob("CMakeLists.txt"))
+    for path in sorted((root / "tests").rglob("*_test.cc")):
+        rel_to_tests = path.relative_to(root / "tests").as_posix()
+        if rel_to_tests not in cmake_text:
+            errors.append(
+                f"{path.relative_to(root)}: not registered in any "
+                "tests/**/CMakeLists.txt — the file is never compiled")
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        __file__).resolve().parent.parent
+    errors: list[str] = []
+    check_exception_free(root, errors)
+    check_headers(root, errors)
+    check_tests_registered(root, errors)
+    for err in errors:
+        print(err)
+    if errors:
+        print(f"lint_fedda: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint_fedda: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
