@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 
 #include "core/check.h"
+#include "core/logging.h"
 #include "core/string_util.h"
 
 namespace fedda::bench {
@@ -29,6 +30,8 @@ void CommonFlags::Register(core::FlagParser* parser) {
                   "use paper-scale datasets (slow)");
   parser->AddInt("threads", &threads,
                  "worker threads for the shared pool (0 = sequential)");
+  parser->AddString("trace_out", &trace_out,
+                    "Chrome trace_event JSON output path (empty = no trace)");
 }
 
 double CommonFlags::ResolvedScale() const {
@@ -87,6 +90,37 @@ std::string OutputPath(const CommonFlags& flags, const std::string& filename) {
 std::string FormatMeanStd(const metrics::MeanStd& value, int precision) {
   return core::StrFormat("%.*f +- %.*f", precision, value.mean, precision,
                          value.std);
+}
+
+std::string TaggedTracePath(const std::string& path, const std::string& tag) {
+  const size_t dot = path.rfind('.');
+  const size_t slash = path.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "." + tag;
+  }
+  return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+void WriteTraceIfRequested(const obs::Tracer& tracer, const CommonFlags& flags,
+                           const std::string& tag) {
+  if (flags.trace_out.empty()) return;
+  const std::string path = TaggedTracePath(flags.trace_out, tag);
+  const core::Status status = tracer.WriteChromeTrace(path);
+  if (!status.ok()) {
+    FEDDA_LOG(kWarning) << "trace write failed: " << status.message();
+    return;
+  }
+  FEDDA_LOG(kInfo) << "wrote trace " << path;
+}
+
+PhaseBreakdown SummarizePhases(const obs::Tracer& tracer) {
+  PhaseBreakdown out;
+  out.train_sec = tracer.PhaseSeconds("local-train");
+  out.encode_sec = tracer.PhaseSeconds("wire-encode");
+  out.aggregate_sec = tracer.PhaseSeconds("aggregate");
+  out.eval_sec = tracer.PhaseSeconds("eval");
+  return out;
 }
 
 }  // namespace fedda::bench

@@ -5,6 +5,7 @@
 
 #include "core/flags.h"
 #include "fl/experiment.h"
+#include "obs/trace.h"
 
 namespace fedda::bench {
 
@@ -28,6 +29,10 @@ struct CommonFlags {
   /// Worker threads for the shared pool (0 = fully sequential). Results are
   /// bit-identical for any value; only wall-clock changes.
   int threads = 0;
+  /// When non-empty, runs attach an obs::Tracer and write Chrome
+  /// trace_event JSON here (multi-framework benches insert the framework
+  /// name before the extension). Empty = tracing off, zero overhead.
+  std::string trace_out;
 
   /// Registers all flags on `parser`.
   void Register(core::FlagParser* parser);
@@ -49,6 +54,25 @@ std::string OutputPath(const CommonFlags& flags, const std::string& filename);
 
 /// "0.5480 +- 0.0081" rendering used by the table benches.
 std::string FormatMeanStd(const metrics::MeanStd& value, int precision = 4);
+
+/// `path` with `tag` inserted before the extension ("t.json" + "fedavg" ->
+/// "t.fedavg.json"), so multi-framework benches write one trace each.
+std::string TaggedTracePath(const std::string& path, const std::string& tag);
+
+/// Writes `tracer`'s Chrome trace to TaggedTracePath(flags.trace_out, tag)
+/// when --trace_out is set; logs the destination. No-op otherwise.
+void WriteTraceIfRequested(const obs::Tracer& tracer, const CommonFlags& flags,
+                           const std::string& tag);
+
+/// Phase-breakdown columns shared by the table benches: total seconds spent
+/// in the runner's local-train / wire-encode / aggregate / eval spans.
+struct PhaseBreakdown {
+  double train_sec = 0.0;
+  double encode_sec = 0.0;
+  double aggregate_sec = 0.0;
+  double eval_sec = 0.0;
+};
+PhaseBreakdown SummarizePhases(const obs::Tracer& tracer);
 
 }  // namespace fedda::bench
 

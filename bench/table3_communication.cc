@@ -105,14 +105,19 @@ int Main(int argc, char** argv) {
   // "Straggler scalars" sums, per round, the slowest participant's uplink —
   // what a synchronous server actually waits for (see fl::SimulateTiming).
   // "Up kB"/"Down kB" are measured wire-format bytes (fl/wire.h).
+  // Phase columns come from an attached obs::Tracer: wall-clock seconds the
+  // runs spent in local training, wire encoding, aggregation, and eval
+  // (summed over the --runs repetitions).
   core::TablePrinter table({"Dataset", "M", "Framework", "Transmitted groups",
                             "Transmitted scalars", "Straggler scalars",
-                            "Up kB", "Down kB", "vs FedAvg"});
+                            "Up kB", "Down kB", "Train s", "Enc s", "Agg s",
+                            "Eval s", "vs FedAvg"});
   core::CsvWriter csv;
   FEDDA_CHECK_OK(csv.Open(OutputPath(flags, "table3_communication.csv"),
                           {"dataset", "clients", "framework", "groups",
                            "scalars", "straggler_scalars", "uplink_bytes",
-                           "downlink_bytes", "downlink_scalars",
+                           "downlink_bytes", "downlink_scalars", "train_sec",
+                           "encode_sec", "aggregate_sec", "eval_sec",
                            "ratio_vs_fedavg"}));
   std::vector<CommRow> json_rows;
 
@@ -128,8 +133,15 @@ int Main(int argc, char** argv) {
       fl::FlOptions options = MakeFlOptions(local);
       options.algorithm = algorithm;
       options.eval_every_round = false;
+      obs::Tracer tracer;
+      options.tracer = &tracer;
       const fl::RepeatedSummary summary = Summarize(
           RunFederatedRepeated(system, options, flags.runs, 4000));
+      const PhaseBreakdown phases = SummarizePhases(tracer);
+      WriteTraceIfRequested(
+          tracer, flags,
+          setting.dataset + std::to_string(setting.clients) + "-" +
+              fl::FlAlgorithmName(algorithm));
       if (algorithm == fl::FlAlgorithm::kFedAvg) {
         fedavg_groups = summary.mean_total_uplink_groups;
       }
@@ -147,6 +159,10 @@ int Main(int argc, char** argv) {
                summary.mean_total_uplink_bytes / 1024.0)),
            core::FormatWithCommas(static_cast<int64_t>(
                summary.mean_total_downlink_bytes / 1024.0)),
+           core::StrFormat("%.2f", phases.train_sec),
+           core::StrFormat("%.2f", phases.encode_sec),
+           core::StrFormat("%.2f", phases.aggregate_sec),
+           core::StrFormat("%.2f", phases.eval_sec),
            core::StrFormat("%.1f%%", ratio * 100.0)});
       csv.WriteRow(std::vector<std::string>{
           setting.dataset, std::to_string(setting.clients), name,
@@ -156,6 +172,10 @@ int Main(int argc, char** argv) {
           core::FormatDouble(summary.mean_total_uplink_bytes, 1),
           core::FormatDouble(summary.mean_total_downlink_bytes, 1),
           core::FormatDouble(summary.mean_total_downlink_scalars, 1),
+          core::FormatDouble(phases.train_sec, 6),
+          core::FormatDouble(phases.encode_sec, 6),
+          core::FormatDouble(phases.aggregate_sec, 6),
+          core::FormatDouble(phases.eval_sec, 6),
           core::FormatDouble(ratio, 4)});
       json_rows.push_back(
           CommRow{setting.dataset, setting.clients, name, summary, ratio});

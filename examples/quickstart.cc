@@ -2,6 +2,7 @@
 // Simple-HGN centrally on a link-prediction task, and evaluate it.
 //
 //   ./build/examples/quickstart
+//   ./build/examples/quickstart --trace_out=trace.json   # phase/kernel trace
 //
 // This walks the core non-federated path: HeteroGraphBuilder -> SimpleHgn
 // -> LinkPredictionTask -> EvaluateLinkPrediction. See federated_clinic.cc
@@ -9,15 +10,31 @@
 
 #include <iostream>
 
+#include "core/flags.h"
 #include "core/rng.h"
 #include "core/string_util.h"
 #include "graph/split.h"
 #include "graph/stats.h"
 #include "hgn/link_prediction.h"
+#include "obs/trace.h"
 
 using namespace fedda;  // example code; library code never does this
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  core::FlagParser flags;
+  flags.AddString("trace_out", &trace_out,
+                  "Chrome trace_event JSON output path (empty = no trace)");
+  const core::Status flag_status = flags.Parse(argc, argv);
+  if (!flag_status.ok()) {
+    return flag_status.code() == core::StatusCode::kFailedPrecondition ? 0
+                                                                       : 1;
+  }
+  // A null tracer disables tracing entirely; the run below is bit-identical
+  // either way.
+  obs::Tracer tracer;
+  obs::Tracer* tracer_ptr = trace_out.empty() ? nullptr : &tracer;
+
   // 1. Build a bibliographic heterograph: authors and papers, with
   //    "writes" (author-paper) and "cites" (paper-paper) link types.
   core::Rng rng(42);
@@ -101,8 +118,10 @@ int main() {
   hgn::TrainOptions train;
   train.local_epochs = 1;
   train.learning_rate = 5e-3f;
+  train.tracer = tracer_ptr;
   hgn::EvalOptions eval;
   eval.mrr_negatives = 10;
+  eval.tracer = tracer_ptr;
 
   tensor::Adam adam(train.learning_rate);
   for (int epoch = 0; epoch <= 20; ++epoch) {
@@ -114,6 +133,15 @@ int main() {
                                    epoch, r.auc, r.mrr);
     }
     task.TrainRound(&params, train, &rng, &adam);
+  }
+  if (tracer_ptr != nullptr) {
+    const core::Status status = tracer.WriteChromeTrace(trace_out);
+    if (!status.ok()) {
+      std::cerr << "trace write failed: " << status.message() << "\n";
+      return 1;
+    }
+    std::cout << "\nWrote kernel trace to " << trace_out
+              << " (open in chrome://tracing or ui.perfetto.dev)\n";
   }
   std::cout << "\nDone. Next: examples/federated_clinic for the FL path.\n";
   return 0;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/logging.h"
 #include "core/thread_pool.h"
 #include "fl/wire.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace fedda::fl {
 
@@ -62,6 +65,7 @@ std::pair<double, double> FederatedRunner::EvaluateGlobal(
   if (evaluator_) return evaluator_(store, rng);
   hgn::EvalOptions eval_options = options_.eval;
   eval_options.pool = pool;
+  eval_options.tracer = options_.tracer;
   const hgn::EvalResult eval = hgn::EvaluateLinkPrediction(
       *model_, *global_graph_, global_mp_, *test_edges_, store,
       eval_options, rng);
@@ -216,6 +220,28 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
   core::ThreadPool* pool_ptr = options_.worker_threads > 0 ? &pool : nullptr;
   hgn::TrainOptions local_options = options_.local;
   local_options.pool = pool_ptr;
+  local_options.tracer = options_.tracer;
+
+  // Observability. Tracing and metrics read state the run produces anyway —
+  // they never draw randomness or alter control flow, so enabling them
+  // cannot perturb seeded results.
+  obs::Tracer* tracer = options_.tracer;
+  obs::ScopedSpan run_span(tracer, "run");
+  obs::Counter* ctr_rounds = nullptr;
+  obs::Counter* ctr_participants = nullptr;
+  obs::Counter* ctr_uplink_bytes = nullptr;
+  obs::Counter* ctr_downlink_bytes = nullptr;
+  obs::Counter* ctr_uplink_scalars = nullptr;
+  obs::Counter* ctr_downlink_scalars = nullptr;
+  if (options_.metrics != nullptr) {
+    ctr_rounds = options_.metrics->AddCounter("fl.rounds");
+    ctr_participants = options_.metrics->AddCounter("fl.participants");
+    ctr_uplink_bytes = options_.metrics->AddCounter("fl.uplink_bytes");
+    ctr_downlink_bytes = options_.metrics->AddCounter("fl.downlink_bytes");
+    ctr_uplink_scalars = options_.metrics->AddCounter("fl.uplink_scalars");
+    ctr_downlink_scalars =
+        options_.metrics->AddCounter("fl.downlink_scalars");
+  }
 
   // Downlink version tracking for the measured wire accounting: the server
   // re-ships a group to a client only when the client requests it (FedAvg
@@ -235,6 +261,8 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
   result.history.reserve(static_cast<size_t>(options_.rounds));
 
   for (int round = 0; round < options_.rounds; ++round) {
+    obs::ScopedSpan round_span(tracer, "round", "round", round);
+    if (ctr_rounds != nullptr) ctr_rounds->Increment();
     std::vector<int> participants = SelectParticipants(&state, rng);
     FEDDA_CHECK(!participants.empty())
         << "empty participant set in round" << round;
@@ -253,6 +281,7 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
       record.round = round;
       record.active_after_round = state.num_active_clients();
       if (options_.eval_every_round || round == options_.rounds - 1) {
+        obs::ScopedSpan eval_span(tracer, "eval", "round", round);
         std::tie(record.auc, record.mrr) =
             EvaluateGlobal(global_store, &eval_rng, pool_ptr);
       }
@@ -298,6 +327,9 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
     std::vector<double> losses(participants.size(), 0.0);
     auto update_one = [&](int64_t p) {
       const int c = participants[static_cast<size_t>(p)];
+      // Runs on a pool worker when worker_threads > 0, exercising the
+      // tracer's per-thread span buffers.
+      obs::ScopedSpan client_span(tracer, "client-update", "client", c);
       core::Rng& client_rng = client_rngs[static_cast<size_t>(p)];
       losses[static_cast<size_t>(p)] = clients_[static_cast<size_t>(c)]
                                            ->Update(broadcast, local_options,
@@ -319,7 +351,11 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
     // With zero workers ParallelFor degenerates to the sequential loop; with
     // workers each client update is one chunk and the kernels inside it
     // recursively share the same pool.
-    pool.ParallelFor(static_cast<int64_t>(participants.size()), update_one);
+    {
+      obs::ScopedSpan train_span(tracer, "local-train", "round", round);
+      pool.ParallelFor(static_cast<int64_t>(participants.size()),
+                       update_one);
+    }
     double loss_sum = 0.0;
     for (double loss : losses) loss_sum += loss;
 
@@ -332,6 +368,9 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
     // (before the post-aggregation update below). Bytes are measured off
     // real fl/wire.h payloads, so they include entry headers and the
     // bit-packed mask overhead.
+    std::optional<obs::ScopedSpan> wire_span;
+    wire_span.emplace(tracer, "wire-encode", "round",
+                      static_cast<int64_t>(round));
     for (int c : participants) {
       const int64_t scalars =
           is_fedda ? state.TransmittedScalars(c) : selected_scalars;
@@ -384,18 +423,24 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
       record.max_downlink_scalars =
           std::max(record.max_downlink_scalars, downlink_scalars);
     }
+    wire_span.reset();
 
     std::vector<uint8_t> groups_updated;
-    const auto magnitudes =
-        AggregateAndMeasure(participants, broadcast, selected_groups, state,
-                            global_store, &groups_updated);
-    for (int gid = 0; gid < num_groups; ++gid) {
-      if (groups_updated[static_cast<size_t>(gid)]) {
-        ++group_version[static_cast<size_t>(gid)];
+    std::vector<std::vector<double>> magnitudes;
+    {
+      obs::ScopedSpan agg_span(tracer, "aggregate", "round", round);
+      magnitudes =
+          AggregateAndMeasure(participants, broadcast, selected_groups,
+                              state, global_store, &groups_updated);
+      for (int gid = 0; gid < num_groups; ++gid) {
+        if (groups_updated[static_cast<size_t>(gid)]) {
+          ++group_version[static_cast<size_t>(gid)];
+        }
       }
     }
 
     if (is_fedda) {
+      obs::ScopedSpan mask_span(tracer, "mask-update", "round", round);
       state.UpdateMasks(participants, magnitudes);
       const std::vector<int> just_deactivated =
           state.DeactivateLowOccupancy(participants);
@@ -437,8 +482,17 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
     record.active_after_round = state.num_active_clients();
 
     if (options_.eval_every_round || round == options_.rounds - 1) {
+      obs::ScopedSpan eval_span(tracer, "eval", "round", round);
       std::tie(record.auc, record.mrr) =
           EvaluateGlobal(global_store, &eval_rng, pool_ptr);
+    }
+
+    if (options_.metrics != nullptr) {
+      ctr_participants->Add(record.participants);
+      ctr_uplink_bytes->Add(record.uplink_bytes);
+      ctr_downlink_bytes->Add(record.downlink_bytes);
+      ctr_uplink_scalars->Add(record.uplink_scalars);
+      ctr_downlink_scalars->Add(record.downlink_scalars);
     }
 
     result.total_uplink_groups += record.uplink_groups;

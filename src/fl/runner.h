@@ -12,6 +12,11 @@
 #include "graph/hetero_graph.h"
 #include "hgn/link_prediction.h"
 
+namespace fedda::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace fedda::obs
+
 namespace fedda::fl {
 
 /// Federated algorithms reproduced from the paper.
@@ -68,6 +73,14 @@ struct FlOptions {
   /// (Sec. 5.1.2); this option exists to quantify what that privacy choice
   /// costs.
   bool weighted_aggregation = false;
+  /// Optional observability sinks (both may be null; null disables with no
+  /// measurable overhead). The tracer receives round/phase/client spans and
+  /// is forwarded into TrainOptions/EvalOptions so the tensor kernels tag
+  /// their time too; the registry receives fl.* counters mirroring the
+  /// RoundRecord byte/scalar fields. Neither touches RNG state: a traced
+  /// run is bit-identical to an untraced one (trace_determinism_test).
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-round telemetry.
@@ -91,8 +104,10 @@ struct RoundRecord {
   /// participant requests and does not already hold current — the server
   /// never re-ships unchanged groups — so `downlink_scalars` (full-group
   /// coverage shipped down) is at most participants * model scalars and
-  /// usually far less. Zero bytes with participants > 0 marks a record from
-  /// before the wire format existed (see SimulateTiming's legacy fallback).
+  /// usually far less. A record with `participants > 0` but zero bytes
+  /// predates the wire format (SimulateTiming falls back to its legacy
+  /// scalar model); `participants == 0` is a genuinely all-failed round,
+  /// which moves no bytes at all and is charged latency only.
   int64_t uplink_bytes = 0;
   int64_t max_uplink_bytes = 0;
   int64_t downlink_scalars = 0;

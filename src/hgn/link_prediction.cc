@@ -81,6 +81,7 @@ double LinkPredictionTask::TrainRound(ParameterStore* store,
       store->ZeroGrads();
       tensor::Graph g(/*training=*/true);
       g.set_pool(options.pool);
+      g.set_tracer(options.tracer);
       Var embeddings;
       if (options.ego_hops > 0) {
         // Ego-graph path: encode only the sampled neighborhoods of the
@@ -130,6 +131,7 @@ EvalResult EvaluateLinkPrediction(const SimpleHgn& model,
   // One inference forward pass; all scores come from the embedding matrix.
   tensor::Graph g(/*training=*/false);
   g.set_pool(options.pool);
+  g.set_tracer(options.tracer);
   Var embeddings_var = model.Encode(&g, graph, mp, store);
   const Tensor& embeddings = g.value(embeddings_var);
 

@@ -14,6 +14,10 @@ namespace fedda::core {
 class ThreadPool;
 }  // namespace fedda::core
 
+namespace fedda::obs {
+class Tracer;
+}  // namespace fedda::obs
+
 namespace fedda::hgn {
 
 /// Local-training hyper-parameters (the paper's E, B, eta).
@@ -41,6 +45,10 @@ struct TrainOptions {
   /// the forward/backward passes. Null = sequential. Results are
   /// bit-identical either way (see tensor::Graph::set_pool).
   core::ThreadPool* pool = nullptr;
+  /// Optional span sink for per-kernel timing (forwarded to
+  /// tensor::Graph::set_tracer). Null disables; tracing never perturbs
+  /// numeric results.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Evaluation protocol knobs.
@@ -55,6 +63,8 @@ struct EvalOptions {
   /// Optional borrowed compute pool for the inference forward pass; same
   /// contract as TrainOptions::pool.
   core::ThreadPool* pool = nullptr;
+  /// Same contract as TrainOptions::tracer.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct EvalResult {

@@ -1,6 +1,7 @@
 #include "hgn/simple_hgn.h"
 
 #include "core/string_util.h"
+#include "obs/trace.h"
 
 namespace fedda::hgn {
 
@@ -184,6 +185,7 @@ Var SimpleHgn::EncodeBlocks(Graph* g,
                             const std::vector<const Tensor*>& type_features,
                             const MpStructure& mp, ParameterStore* store,
                             core::Rng* dropout_rng) const {
+  obs::ScopedSpan encode_span(g->tracer(), "hgn-encode");
   FEDDA_CHECK(initialized_) << "InitParameters not called";
   FEDDA_CHECK_EQ(type_features.size(), input_proj_ids_.size());
 

@@ -1,0 +1,182 @@
+#include "obs/metrics_registry.h"
+
+#include <fstream>
+#include <utility>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace fedda::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    FEDDA_CHECK(bounds_[i - 1] < bounds_[i])
+        << "histogram bounds must be strictly ascending";
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = bounds_.size();  // +inf overflow by default
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+MetricsRegistry::Entry* MetricsRegistry::FindLocked(const std::string& name) {
+  for (auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::AddCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = FindLocked(name)) {
+    FEDDA_CHECK(existing->kind == Kind::kCounter)
+        << "metric '" << name << "' already registered as a different kind";
+    return existing->counter.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->kind = Kind::kCounter;
+  entry->counter = std::make_unique<Counter>();
+  Counter* handle = entry->counter.get();
+  entries_.push_back(std::move(entry));
+  return handle;
+}
+
+Gauge* MetricsRegistry::AddGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = FindLocked(name)) {
+    FEDDA_CHECK(existing->kind == Kind::kGauge)
+        << "metric '" << name << "' already registered as a different kind";
+    return existing->gauge.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->kind = Kind::kGauge;
+  entry->gauge = std::make_unique<Gauge>();
+  Gauge* handle = entry->gauge.get();
+  entries_.push_back(std::move(entry));
+  return handle;
+}
+
+Histogram* MetricsRegistry::AddHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = FindLocked(name)) {
+    FEDDA_CHECK(existing->kind == Kind::kHistogram)
+        << "metric '" << name << "' already registered as a different kind";
+    return existing->histogram.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->kind = Kind::kHistogram;
+  entry->histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram* handle = entry->histogram.get();
+  entries_.push_back(std::move(entry));
+  return handle;
+}
+
+std::string MetricsRegistry::TextReport() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& entry : entries_) {
+    switch (entry->kind) {
+      case Kind::kCounter:
+        out += core::StrFormat(
+            "%s %lld\n", entry->name.c_str(),
+            static_cast<long long>(entry->counter->value()));
+        break;
+      case Kind::kGauge:
+        out += core::StrFormat("%s %.9g\n", entry->name.c_str(),
+                               entry->gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        const int64_t count = h.count();
+        const double sum = h.sum();
+        out += core::StrFormat(
+            "%s count=%lld sum=%.9g mean=%.9g\n", entry->name.c_str(),
+            static_cast<long long>(count), sum,
+            count > 0 ? sum / static_cast<double>(count) : 0.0);
+        for (size_t i = 0; i <= h.bounds().size(); ++i) {
+          const std::string bound =
+              i < h.bounds().size()
+                  ? core::StrFormat("%.9g", h.bounds()[i])
+                  : std::string("+inf");
+          out += core::StrFormat(
+              "%s le=%s %lld\n", entry->name.c_str(), bound.c_str(),
+              static_cast<long long>(h.bucket_count(i)));
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+core::Status MetricsRegistry::WriteCsv(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return core::Status::IoError("cannot open metrics CSV output: " + path);
+  }
+  out << "name,kind,value\n";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : entries_) {
+      switch (entry->kind) {
+        case Kind::kCounter:
+          out << core::StrFormat(
+              "%s,counter,%lld\n", entry->name.c_str(),
+              static_cast<long long>(entry->counter->value()));
+          break;
+        case Kind::kGauge:
+          out << core::StrFormat("%s,gauge,%.17g\n", entry->name.c_str(),
+                                 entry->gauge->value());
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *entry->histogram;
+          out << core::StrFormat("%s.count,histogram,%lld\n",
+                                 entry->name.c_str(),
+                                 static_cast<long long>(h.count()));
+          out << core::StrFormat("%s.sum,histogram,%.17g\n",
+                                 entry->name.c_str(), h.sum());
+          for (size_t i = 0; i <= h.bounds().size(); ++i) {
+            const std::string bound =
+                i < h.bounds().size()
+                    ? core::StrFormat("%.17g", h.bounds()[i])
+                    : std::string("+inf");
+            out << core::StrFormat(
+                "%s.le.%s,histogram,%lld\n", entry->name.c_str(),
+                bound.c_str(), static_cast<long long>(h.bucket_count(i)));
+          }
+          break;
+        }
+      }
+    }
+  }
+  out.flush();
+  if (!out.good()) {
+    return core::Status::IoError("failed writing metrics CSV output: " + path);
+  }
+  return core::Status::OK();
+}
+
+}  // namespace fedda::obs

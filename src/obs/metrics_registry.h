@@ -1,0 +1,105 @@
+#ifndef FEDDA_OBS_METRICS_REGISTRY_H_
+#define FEDDA_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace fedda::obs {
+
+/// Monotonic event count. Thread-safe; Add() is one relaxed atomic RMW.
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written instantaneous value. Thread-safe; Set() is one relaxed store.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket bounds are frozen at registration, so
+/// Observe() allocates nothing: it walks the (short) bounds array, bumps one
+/// atomic bucket count, and accumulates sum/count. Bucket i counts samples
+/// <= bounds[i]; the final bucket is the +inf overflow.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Samples in bucket `i` (i in [0, bounds().size()]; the last is +inf).
+  int64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::vector<double> bounds_;  // ascending upper bounds
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};  // accumulated via CAS loop in Observe()
+};
+
+/// Owner of named metrics. Registration (Add*) takes a mutex and may
+/// allocate; the returned pointers are stable for the registry's lifetime,
+/// so hot paths hold a handle and touch only atomics. Registering an
+/// existing name returns the existing instrument (a name is one instrument;
+/// re-registering it as a different kind is a programming error and CHECKs).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* AddCounter(const std::string& name);
+  Gauge* AddGauge(const std::string& name);
+  /// `bounds` must be strictly ascending. Ignored if `name` already exists.
+  Histogram* AddHistogram(const std::string& name, std::vector<double> bounds);
+
+  /// Human-readable dump, one `name value` line per instrument, in
+  /// registration order. Histograms render count/sum/mean plus buckets.
+  std::string TextReport() const;
+
+  /// CSV rows `name,kind,value` (histograms expand to count/sum/bucket
+  /// rows). Stable order for golden-file comparisons.
+  [[nodiscard]] core::Status WriteCsv(const std::string& path) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindLocked(const std::string& name);
+
+  mutable std::mutex mu_;  // guards entries_ layout; values are atomics
+  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+};
+
+}  // namespace fedda::obs
+
+#endif  // FEDDA_OBS_METRICS_REGISTRY_H_

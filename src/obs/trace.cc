@@ -1,0 +1,211 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "core/string_util.h"
+
+namespace fedda::obs {
+namespace {
+
+/// Monotonic tracer ids. Id 0 is reserved so a default-initialised
+/// thread_local cache never matches a live tracer.
+std::atomic<uint64_t> g_next_generation{1};
+
+struct ThreadCache {
+  uint64_t generation = 0;
+  void* log = nullptr;
+};
+
+thread_local ThreadCache tls_cache;
+
+}  // namespace
+
+Tracer::Tracer()
+    : generation_(g_next_generation.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() {
+  // Invalidate any thread_local cache entry pointing at this tracer on the
+  // destroying thread. Other threads' caches are keyed by generation_, which
+  // is never reused, so a stale pointer is never dereferenced.
+  if (tls_cache.generation == generation_) {
+    tls_cache = ThreadCache{};
+  }
+}
+
+int64_t Tracer::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::ThreadLog* Tracer::GetThreadLog() {
+  if (tls_cache.generation == generation_) {
+    return static_cast<ThreadLog*>(tls_cache.log);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::thread::id self = std::this_thread::get_id();
+  auto it = by_thread_.find(self);
+  ThreadLog* log;
+  if (it != by_thread_.end()) {
+    log = it->second;
+  } else {
+    auto owned = std::make_unique<ThreadLog>();
+    owned->tid = static_cast<int>(logs_.size());
+    log = owned.get();
+    logs_.push_back(std::move(owned));
+    by_thread_.emplace(self, log);
+  }
+  tls_cache.generation = generation_;
+  tls_cache.log = log;
+  return log;
+}
+
+std::vector<Span> Tracer::Collect() const {
+  std::vector<Span> all;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    for (const Span& span : log->spans) {
+      if (span.dur_ns >= 0) all.push_back(span);
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Span& a, const Span& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.depth < b.depth;
+  });
+  return all;
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  const std::vector<Span> spans = Collect();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += core::StrFormat(
+        "\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+        "\"ts\":%.3f,\"dur\":%.3f",
+        span.name, span.tid, static_cast<double>(span.start_ns) / 1e3,
+        static_cast<double>(span.dur_ns) / 1e3);
+    if (span.arg_name != nullptr) {
+      out += core::StrFormat(",\"args\":{\"%s\":%lld}", span.arg_name,
+                             static_cast<long long>(span.arg));
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+core::Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return core::Status::IoError("cannot open trace output: " + path);
+  }
+  out << ChromeTraceJson();
+  out.flush();
+  if (!out.good()) {
+    return core::Status::IoError("failed writing trace output: " + path);
+  }
+  return core::Status::OK();
+}
+
+core::Status Tracer::WriteRoundPhaseCsv(const std::string& path) const {
+  struct Key {
+    int64_t round;
+    std::string phase;
+    bool operator<(const Key& other) const {
+      if (round != other.round) return round < other.round;
+      return phase < other.phase;
+    }
+  };
+  std::map<Key, std::pair<int64_t, int64_t>> rows;  // -> (calls, total_ns)
+  for (const Span& span : Collect()) {
+    if (span.arg_name == nullptr || std::strcmp(span.arg_name, "round") != 0) {
+      continue;
+    }
+    auto& cell = rows[Key{span.arg, span.name}];
+    cell.first += 1;
+    cell.second += span.dur_ns;
+  }
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return core::Status::IoError("cannot open phase CSV output: " + path);
+  }
+  out << "round,phase,calls,total_ms\n";
+  for (const auto& [key, cell] : rows) {
+    out << core::StrFormat("%lld,%s,%lld,%.6f\n",
+                           static_cast<long long>(key.round),
+                           key.phase.c_str(),
+                           static_cast<long long>(cell.first),
+                           static_cast<double>(cell.second) / 1e6);
+  }
+  out.flush();
+  if (!out.good()) {
+    return core::Status::IoError("failed writing phase CSV output: " + path);
+  }
+  return core::Status::OK();
+}
+
+std::vector<Tracer::PhaseStat> Tracer::PhaseTotals() const {
+  std::map<std::string, PhaseStat> by_name;
+  for (const Span& span : Collect()) {
+    PhaseStat& stat = by_name[span.name];
+    if (stat.name.empty()) stat.name = span.name;
+    stat.calls += 1;
+    stat.total_seconds += static_cast<double>(span.dur_ns) / 1e9;
+  }
+  std::vector<PhaseStat> out;
+  out.reserve(by_name.size());
+  for (auto& [name, stat] : by_name) out.push_back(std::move(stat));
+  return out;
+}
+
+double Tracer::PhaseSeconds(const std::string& name) const {
+  for (const PhaseStat& stat : PhaseTotals()) {
+    if (stat.name == name) return stat.total_seconds;
+  }
+  return 0.0;
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, const char* name)
+    : ScopedSpan(tracer, name, nullptr, 0) {}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, const char* name, const char* arg_name,
+                       int64_t arg)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  log_ = tracer_->GetThreadLog();
+  start_ns_ = tracer_->NowNs();
+  Span span;
+  span.name = name;
+  span.arg_name = arg_name;
+  span.arg = arg;
+  span.tid = log_->tid;
+  span.depth = log_->depth;
+  span.start_ns = start_ns_;
+  span.dur_ns = -1;  // open; skipped by Collect() until we close it
+  {
+    std::lock_guard<std::mutex> lock(log_->mu);
+    index_ = log_->spans.size();
+    log_->spans.push_back(span);
+  }
+  ++log_->depth;  // owner-thread only; no lock needed
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  const int64_t end_ns = tracer_->NowNs();
+  --log_->depth;
+  std::lock_guard<std::mutex> lock(log_->mu);
+  log_->spans[index_].dur_ns = end_ns - start_ns_;
+}
+
+}  // namespace fedda::obs

@@ -1,0 +1,120 @@
+#ifndef FEDDA_OBS_TRACE_H_
+#define FEDDA_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+
+namespace fedda::obs {
+
+/// One closed interval recorded by a ScopedSpan. `name` and `arg_name` are
+/// static strings (string literals at the call site); the tracer never copies
+/// or frees them. Times are nanoseconds on the steady clock, relative to the
+/// owning Tracer's construction.
+struct Span {
+  const char* name = nullptr;
+  const char* arg_name = nullptr;  // nullptr when the span carries no arg
+  int64_t arg = 0;
+  int tid = 0;    // dense per-tracer thread index, 0 = first thread seen
+  int depth = 0;  // nesting depth on its thread at the time it opened
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+};
+
+/// Collects nested timing spans from many threads with no cross-thread
+/// contention on the hot path: every thread appends to its own buffer, each
+/// guarded by its own mutex (uncontended except while Collect() merges).
+///
+/// A null `Tracer*` disables tracing entirely — ScopedSpan's constructor is a
+/// single branch in that case — so call sites can be instrumented
+/// unconditionally. Tracing never touches RNG state or numeric results; a
+/// traced run is bit-identical to an untraced one (asserted by
+/// tests/fl/trace_determinism_test.cc).
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Merges every thread's buffer into one list sorted by (start_ns, tid).
+  /// Spans still open at the time of the call are omitted.
+  std::vector<Span> Collect() const;
+
+  /// Chrome trace_event JSON ("complete" events); load via chrome://tracing
+  /// or https://ui.perfetto.dev.
+  std::string ChromeTraceJson() const;
+  [[nodiscard]] core::Status WriteChromeTrace(const std::string& path) const;
+
+  /// Per-round phase summary: one CSV row per (round, span name) for spans
+  /// that carry a "round" arg (the runner's phase spans all do). Columns:
+  /// round,phase,calls,total_ms.
+  [[nodiscard]] core::Status WriteRoundPhaseCsv(const std::string& path) const;
+
+  struct PhaseStat {
+    std::string name;
+    int64_t calls = 0;
+    double total_seconds = 0.0;
+  };
+  /// Aggregate time per span name across the whole trace, sorted by name.
+  /// Nested spans are counted in full for each level (no self-time
+  /// subtraction), so compare like with like.
+  std::vector<PhaseStat> PhaseTotals() const;
+
+  /// Total seconds spent in spans named `name` (0.0 when absent).
+  double PhaseSeconds(const std::string& name) const;
+
+ private:
+  friend class ScopedSpan;
+
+  struct ThreadLog {
+    std::mutex mu;  // guards `spans`; uncontended except during Collect()
+    std::vector<Span> spans;
+    int tid = 0;
+    int depth = 0;  // touched only by the owning thread
+  };
+
+  /// Returns this thread's log, creating it on first use. A thread_local
+  /// cache keyed by the tracer's generation id makes the steady-state cost
+  /// one branch; misses fall back to a map lookup under mu_ so a thread
+  /// re-entering the same tracer keeps its tid (and thus its span nesting).
+  ThreadLog* GetThreadLog();
+
+  int64_t NowNs() const;
+
+  const uint64_t generation_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  // guards logs_ and by_thread_
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+  std::map<std::thread::id, ThreadLog*> by_thread_;
+};
+
+/// RAII span. Opens on construction, closes on destruction. With a null
+/// tracer both are no-ops, which is what "zero overhead when disabled"
+/// means in practice: one pointer test per site.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name);
+  ScopedSpan(Tracer* tracer, const char* name, const char* arg_name,
+             int64_t arg);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;  // nullptr => disabled
+  Tracer::ThreadLog* log_ = nullptr;
+  size_t index_ = 0;  // position of our span in log_->spans
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace fedda::obs
+
+#endif  // FEDDA_OBS_TRACE_H_

@@ -1,5 +1,7 @@
 #include "tensor/autograd.h"
 
+#include "obs/trace.h"
+
 namespace fedda::tensor {
 
 Var Graph::Constant(Tensor value) {
@@ -37,6 +39,7 @@ Var Graph::AddNode(Tensor value, std::vector<Var> inputs, BackwardFn backward,
 }
 
 void Graph::Backward(Var loss) {
+  obs::ScopedSpan span(tracer_, "backward");
   FEDDA_CHECK(training_) << "Backward on an inference graph";
   FEDDA_CHECK(!backward_done_) << "Backward called twice on one tape";
   backward_done_ = true;

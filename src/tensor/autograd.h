@@ -10,6 +10,10 @@ namespace fedda::core {
 class ThreadPool;
 }  // namespace fedda::core
 
+namespace fedda::obs {
+class Tracer;
+}  // namespace fedda::obs
+
 namespace fedda::tensor {
 
 class Graph;
@@ -82,6 +86,13 @@ class Graph {
   void set_pool(core::ThreadPool* pool) { pool_ = pool; }
   core::ThreadPool* pool() const { return pool_; }
 
+  /// Optional span sink consulted by the op kernels for per-kernel timing
+  /// (matmul, gather-rows, scatter-add-rows, segment-softmax) and by
+  /// Backward() for the whole reverse pass. Null disables at the cost of
+  /// one pointer test per instrumented kernel. Borrowed, not owned.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   struct Node {
     Tensor value;
@@ -105,6 +116,7 @@ class Graph {
   bool training_;
   bool backward_done_ = false;
   core::ThreadPool* pool_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace fedda::tensor

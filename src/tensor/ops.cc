@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/thread_pool.h"
+#include "obs/trace.h"
 
 namespace fedda::tensor {
 
@@ -167,6 +168,7 @@ Var AddScalar(Graph* g, Var a, float alpha) {
 }
 
 Var MatMul(Graph* g, Var a, Var b) {
+  obs::ScopedSpan span(g->tracer(), "matmul");
   const Tensor& av = g->value(a);
   const Tensor& bv = g->value(b);
   Tensor out = MatMulValue(av, bv, g->pool());
@@ -423,6 +425,7 @@ Var Mean(Graph* g, Var a) {
 
 Var GatherRows(Graph* g, Var a,
                std::shared_ptr<const std::vector<int32_t>> indices) {
+  obs::ScopedSpan span(g->tracer(), "gather-rows");
   const Tensor& av = g->value(a);
   const int64_t cols = av.cols();
   Tensor out(static_cast<int64_t>(indices->size()), cols);
@@ -478,6 +481,7 @@ Var GatherRows(Graph* g, Var a,
 Var ScatterAddRows(Graph* g, Var a,
                    std::shared_ptr<const std::vector<int32_t>> indices,
                    int64_t num_rows) {
+  obs::ScopedSpan span(g->tracer(), "scatter-add-rows");
   const Tensor& av = g->value(a);
   FEDDA_CHECK_EQ(av.rows(), static_cast<int64_t>(indices->size()));
   const int64_t cols = av.cols();
@@ -537,6 +541,7 @@ Var ScatterAddRows(Graph* g, Var a,
 Var SegmentSoftmax(Graph* g, Var logits,
                    std::shared_ptr<const std::vector<int32_t>> segment_ids,
                    int64_t num_segments) {
+  obs::ScopedSpan span(g->tracer(), "segment-softmax");
   const Tensor& lv = g->value(logits);
   FEDDA_CHECK_EQ(lv.cols(), 1);
   FEDDA_CHECK_EQ(lv.rows(), static_cast<int64_t>(segment_ids->size()));

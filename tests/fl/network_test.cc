@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "fl/experiment.h"
+
 namespace fedda::fl {
 namespace {
 
@@ -143,6 +145,66 @@ TEST(NetworkTest, MoreEpochsCostMoreCompute) {
   const auto one = SimulateTiming(run, model, 2000, 1);
   const auto five = SimulateTiming(run, model, 2000, 5);
   EXPECT_DOUBLE_EQ(five[0].round_sec - one[0].round_sec, 4 * 2.0);
+}
+
+TEST(NetworkTest, AllFailedWireEraRoundIsChargedLatencyOnly) {
+  // Regression: an all-failed round in a wire-era history carries zero byte
+  // fields, which used to look exactly like a pre-wire legacy record. The
+  // all-failed case must key off participants == 0, not the byte fields —
+  // a failed round moves no bytes and must never be charged the legacy
+  // full-model broadcast.
+  FlRunResult run = MakeRun();
+  run.history[0].max_uplink_bytes = 2000;
+  run.history[0].max_downlink_bytes = 4000;
+  // history[1] is the all-failed round: participants == 0, all bytes zero.
+  const auto timing = SimulateTiming(run, SimpleModel(), 2000, 1);
+  EXPECT_DOUBLE_EQ(timing[1].round_sec, 1.0);  // latency only
+}
+
+TEST(NetworkTest, AllFailedRoundIgnoresStrayByteFields) {
+  // Even if a record somehow carried stale byte fields, participants == 0
+  // wins: no participants means nothing was transferred or computed.
+  FlRunResult run = MakeRun();
+  run.history[1].uplink_bytes = 9999;
+  run.history[1].max_uplink_bytes = 9999;
+  run.history[1].max_downlink_bytes = 9999;
+  const auto timing = SimulateTiming(run, SimpleModel(), 2000, 1);
+  EXPECT_DOUBLE_EQ(timing[1].round_sec, 1.0);
+}
+
+TEST(NetworkTest, EveryClientFailedRunChargesLatencyOnly) {
+  // End to end: a run where every client fails every round produces
+  // participants == 0 records whose simulated cost is pure latency.
+  SystemConfig config;
+  config.data = data::AmazonSpec(0.012);
+  config.test_fraction = 0.2;
+  config.partition.num_clients = 3;
+  config.partition.num_specialties = 1;
+  config.model.num_layers = 2;
+  config.model.num_heads = 2;
+  config.model.hidden_dim = 8;
+  config.model.edge_emb_dim = 4;
+  config.seed = 41;
+  const FederatedSystem system = FederatedSystem::Build(config);
+
+  FlOptions options;
+  options.algorithm = FlAlgorithm::kFedAvg;
+  options.rounds = 3;
+  options.client_failure_prob = 1.0;
+  options.eval.max_edges = 64;
+  const FlRunResult result = RunFederated(system, options, 5);
+  ASSERT_EQ(result.history.size(), 3u);
+  for (const RoundRecord& record : result.history) {
+    EXPECT_EQ(record.participants, 0);
+    EXPECT_EQ(record.uplink_bytes, 0);
+    EXPECT_EQ(record.downlink_bytes, 0);
+  }
+  const NetworkModel model = SimpleModel();
+  const int64_t scalars = system.MakeInitialStore(1).num_scalars();
+  const auto timing = SimulateTiming(result, model, scalars, 1);
+  for (const RoundTiming& t : timing) {
+    EXPECT_DOUBLE_EQ(t.round_sec, model.round_latency_sec);
+  }
 }
 
 TEST(NetworkDeathTest, InvalidInputsAbort) {

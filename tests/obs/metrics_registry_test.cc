@@ -1,0 +1,122 @@
+#include "obs/metrics_registry.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fedda::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CounterTest, AddsAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42);
+}
+
+TEST(GaugeTest, KeepsLastWrite) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.Set(3.5);
+  gauge.Set(-1.25);
+  EXPECT_EQ(gauge.value(), -1.25);
+}
+
+TEST(HistogramTest, BucketsByUpperBound) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // bucket 0 (<= 1)
+  histogram.Observe(1.0);    // bucket 0 (inclusive upper bound)
+  histogram.Observe(7.0);    // bucket 1
+  histogram.Observe(1000.0); // overflow bucket
+  EXPECT_EQ(histogram.count(), 4);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 1.0 + 7.0 + 1000.0);
+  EXPECT_EQ(histogram.bucket_count(0), 2);
+  EXPECT_EQ(histogram.bucket_count(1), 1);
+  EXPECT_EQ(histogram.bucket_count(2), 0);
+  EXPECT_EQ(histogram.bucket_count(3), 1);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndSharedByName) {
+  MetricsRegistry registry;
+  Counter* first = registry.AddCounter("fl.rounds");
+  Counter* again = registry.AddCounter("fl.rounds");
+  EXPECT_EQ(first, again);
+  first->Add(3);
+  EXPECT_EQ(again->value(), 3);
+  // Different names are different instruments.
+  EXPECT_NE(registry.AddCounter("fl.participants"), first);
+}
+
+TEST(MetricsRegistryTest, TextReportListsInRegistrationOrder) {
+  MetricsRegistry registry;
+  registry.AddCounter("z.counter")->Add(5);
+  registry.AddGauge("a.gauge")->Set(1.5);
+  Histogram* histogram = registry.AddHistogram("m.hist", {2.0});
+  histogram->Observe(1.0);
+  histogram->Observe(9.0);
+  const std::string report = registry.TextReport();
+  // Registration order, not alphabetical.
+  EXPECT_LT(report.find("z.counter 5"), report.find("a.gauge 1.5"));
+  EXPECT_NE(report.find("m.hist count=2"), std::string::npos);
+  EXPECT_NE(report.find("m.hist le=2 1"), std::string::npos);
+  EXPECT_NE(report.find("m.hist le=+inf 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, WriteCsvEmitsAllInstrumentKinds) {
+  MetricsRegistry registry;
+  registry.AddCounter("c")->Add(7);
+  registry.AddGauge("g")->Set(0.5);
+  registry.AddHistogram("h", {1.0})->Observe(0.25);
+  const std::string path = ::testing::TempDir() + "/fedda_metrics_test.csv";
+  ASSERT_TRUE(registry.WriteCsv(path).ok());
+  const std::string csv = ReadFile(path);
+  EXPECT_EQ(csv.rfind("name,kind,value\n", 0), 0u);
+  EXPECT_NE(csv.find("c,counter,7"), std::string::npos);
+  EXPECT_NE(csv.find("g,gauge,0.5"), std::string::npos);
+  EXPECT_NE(csv.find("h.count,histogram,1"), std::string::npos);
+  EXPECT_NE(csv.find("h.sum,histogram,0.25"), std::string::npos);
+  EXPECT_NE(csv.find("h.le.1,histogram,1"), std::string::npos);
+  EXPECT_NE(csv.find("h.le.+inf,histogram,0"), std::string::npos);
+  EXPECT_FALSE(registry.WriteCsv("/nonexistent-dir/x/metrics.csv").ok());
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesAreExact) {
+  // Counters must not lose increments under contention (run under TSan in
+  // CI). Histograms must keep count == sum of buckets.
+  MetricsRegistry registry;
+  Counter* counter = registry.AddCounter("hits");
+  Histogram* histogram = registry.AddHistogram("lat", {0.5});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter, histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        histogram->Observe(t % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->value(), kThreads * kPerThread);
+  EXPECT_EQ(histogram->count(), kThreads * kPerThread);
+  EXPECT_EQ(histogram->bucket_count(0) + histogram->bucket_count(1),
+            kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(histogram->sum(),
+                   2.0 * kPerThread * 0.25 + 2.0 * kPerThread * 1.0);
+}
+
+}  // namespace
+}  // namespace fedda::obs

@@ -1,0 +1,259 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/thread_pool.h"
+
+namespace fedda::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int CountOccurrences(const std::string& text, const std::string& needle) {
+  int count = 0;
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(ScopedSpanTest, NullTracerIsANoOp) {
+  ScopedSpan outer(nullptr, "outer");
+  ScopedSpan with_arg(nullptr, "inner", "round", 3);
+  // Nothing to assert beyond "did not crash": a null tracer records nothing.
+}
+
+TEST(TracerTest, RecordsNestedSpansWithDepthAndArgs) {
+  Tracer tracer;
+  {
+    ScopedSpan round(&tracer, "round", "round", 7);
+    {
+      ScopedSpan train(&tracer, "local-train", "round", 7);
+    }
+    {
+      ScopedSpan eval(&tracer, "eval", "round", 7);
+    }
+  }
+  const std::vector<Span> spans = tracer.Collect();
+  ASSERT_EQ(spans.size(), 3u);
+  // Sorted by start time: round opened first.
+  EXPECT_STREQ(spans[0].name, "round");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_STREQ(spans[0].arg_name, "round");
+  EXPECT_EQ(spans[0].arg, 7);
+  EXPECT_STREQ(spans[1].name, "local-train");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_STREQ(spans[2].name, "eval");
+  EXPECT_EQ(spans[2].depth, 1);
+  for (const Span& span : spans) {
+    EXPECT_GE(span.start_ns, 0);
+    EXPECT_GE(span.dur_ns, 0);
+    EXPECT_EQ(span.tid, 0);  // all on the main thread
+  }
+  // Children fall within the parent's interval.
+  const int64_t parent_end = spans[0].start_ns + spans[0].dur_ns;
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].start_ns, spans[0].start_ns);
+    EXPECT_LE(spans[i].start_ns + spans[i].dur_ns, parent_end);
+  }
+  // Siblings do not overlap.
+  EXPECT_LE(spans[1].start_ns + spans[1].dur_ns, spans[2].start_ns);
+}
+
+TEST(TracerTest, CollectOmitsStillOpenSpans) {
+  Tracer tracer;
+  ScopedSpan open_span(&tracer, "open");
+  {
+    ScopedSpan closed(&tracer, "closed");
+  }
+  const std::vector<Span> spans = tracer.Collect();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "closed");
+  EXPECT_EQ(spans[0].depth, 1);  // still nested under the open span
+}
+
+TEST(TracerTest, ThreadsGetStableDistinctTids) {
+  Tracer tracer;
+  {
+    ScopedSpan main_span(&tracer, "main");
+  }
+  std::thread worker([&tracer] {
+    {
+      ScopedSpan first(&tracer, "worker-a");
+    }
+    {
+      ScopedSpan second(&tracer, "worker-b");
+    }
+  });
+  worker.join();
+  {
+    ScopedSpan main_again(&tracer, "main-again");
+  }
+  const std::vector<Span> spans = tracer.Collect();
+  ASSERT_EQ(spans.size(), 4u);
+  int main_tid = -1, worker_tid = -1;
+  for (const Span& span : spans) {
+    const std::string name = span.name;
+    if (name == "main" || name == "main-again") {
+      if (main_tid < 0) main_tid = span.tid;
+      // The same thread keeps its tid across spans (cached thread log).
+      EXPECT_EQ(span.tid, main_tid);
+    } else {
+      if (worker_tid < 0) worker_tid = span.tid;
+      EXPECT_EQ(span.tid, worker_tid);
+      EXPECT_EQ(span.depth, 0);  // depth is tracked per thread
+    }
+  }
+  EXPECT_NE(main_tid, worker_tid);
+}
+
+TEST(TracerTest, AlternatingTracersOnOneThreadStayIsolated) {
+  Tracer a;
+  Tracer b;
+  {
+    ScopedSpan sa(&a, "from-a");
+  }
+  {
+    ScopedSpan sb(&b, "from-b");
+  }
+  {
+    ScopedSpan sa2(&a, "from-a-again");
+  }
+  ASSERT_EQ(a.Collect().size(), 2u);
+  ASSERT_EQ(b.Collect().size(), 1u);
+  EXPECT_STREQ(b.Collect()[0].name, "from-b");
+  // Re-entering tracer `a` after using `b` reuses the same thread log, so
+  // both of a's spans share one tid.
+  EXPECT_EQ(a.Collect()[0].tid, a.Collect()[1].tid);
+}
+
+TEST(TracerTest, PoolWorkersMergeIntoOneTrace) {
+  Tracer tracer;
+  core::ThreadPool pool(4);
+  std::atomic<int> recorded{0};
+  pool.ParallelFor(64, [&](int64_t i) {
+    ScopedSpan span(&tracer, "chunk", "index", i);
+    recorded.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(recorded.load(), 64);
+  const std::vector<Span> spans = tracer.Collect();
+  EXPECT_EQ(spans.size(), 64u);
+  for (const Span& span : spans) {
+    EXPECT_STREQ(span.name, "chunk");
+    EXPECT_GE(span.dur_ns, 0);
+  }
+}
+
+TEST(TracerTest, ChromeTraceJsonIsStructurallySound) {
+  Tracer tracer;
+  {
+    ScopedSpan round(&tracer, "round", "round", 0);
+    ScopedSpan train(&tracer, "local-train", "round", 0);
+  }
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 2);
+  EXPECT_EQ(CountOccurrences(json, "\"args\":{\"round\":0}"), 2);
+  EXPECT_NE(json.find("\"name\":\"round\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"local-train\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(TracerTest, WriteChromeTraceRoundTrips) {
+  Tracer tracer;
+  {
+    ScopedSpan span(&tracer, "solo");
+  }
+  const std::string path = ::testing::TempDir() + "/fedda_trace_test.json";
+  ASSERT_TRUE(tracer.WriteChromeTrace(path).ok());
+  EXPECT_EQ(ReadFile(path), tracer.ChromeTraceJson());
+  EXPECT_FALSE(tracer.WriteChromeTrace("/nonexistent-dir/x/y.json").ok());
+}
+
+TEST(TracerTest, RoundPhaseCsvGroupsByRoundAndPhase) {
+  Tracer tracer;
+  for (int round = 0; round < 2; ++round) {
+    ScopedSpan round_span(&tracer, "round", "round", round);
+    {
+      ScopedSpan train(&tracer, "local-train", "round", round);
+    }
+    {
+      ScopedSpan train_again(&tracer, "local-train", "round", round);
+    }
+    {
+      ScopedSpan untagged(&tracer, "kernel");  // no round arg: JSON only
+    }
+  }
+  const std::string path = ::testing::TempDir() + "/fedda_phase_test.csv";
+  ASSERT_TRUE(tracer.WriteRoundPhaseCsv(path).ok());
+  const std::string csv = ReadFile(path);
+  EXPECT_EQ(csv.rfind("round,phase,calls,total_ms\n", 0), 0u);
+  EXPECT_NE(csv.find("0,local-train,2,"), std::string::npos);
+  EXPECT_NE(csv.find("1,local-train,2,"), std::string::npos);
+  EXPECT_NE(csv.find("0,round,1,"), std::string::npos);
+  EXPECT_EQ(csv.find("kernel"), std::string::npos);
+}
+
+TEST(TracerTest, PhaseTotalsAggregateAcrossRoundsAndThreads) {
+  Tracer tracer;
+  for (int i = 0; i < 3; ++i) {
+    ScopedSpan span(&tracer, "aggregate", "round", i);
+  }
+  std::thread worker([&tracer] {
+    ScopedSpan span(&tracer, "aggregate", "round", 99);
+  });
+  worker.join();
+  const auto totals = tracer.PhaseTotals();
+  ASSERT_EQ(totals.size(), 1u);
+  EXPECT_EQ(totals[0].name, "aggregate");
+  EXPECT_EQ(totals[0].calls, 4);
+  EXPECT_GE(totals[0].total_seconds, 0.0);
+  EXPECT_EQ(tracer.PhaseSeconds("aggregate"), totals[0].total_seconds);
+  EXPECT_EQ(tracer.PhaseSeconds("absent"), 0.0);
+}
+
+TEST(TracerTest, ConcurrentRecordAndCollectIsSafe) {
+  // Collect() while other threads are mid-record: exercises the per-thread
+  // buffer locks (run under TSan in CI). Writers do a fixed amount of work
+  // (never spin unbounded) so memory stays bounded on slow machines.
+  Tracer tracer;
+  constexpr int kWriters = 3;
+  constexpr int kSpansPerWriter = 5000;
+  std::atomic<int> done{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&tracer, &done] {
+      for (int i = 0; i < kSpansPerWriter; ++i) {
+        ScopedSpan span(&tracer, "busy");
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  while (done.load(std::memory_order_acquire) < kWriters) {
+    const std::vector<Span> spans = tracer.Collect();
+    for (const Span& span : spans) {
+      EXPECT_STREQ(span.name, "busy");
+      EXPECT_GE(span.dur_ns, 0);
+    }
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(tracer.Collect().size(),
+            static_cast<size_t>(kWriters * kSpansPerWriter));
+}
+
+}  // namespace
+}  // namespace fedda::obs
