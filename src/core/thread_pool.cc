@@ -18,10 +18,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
@@ -31,11 +31,11 @@ void ThreadPool::Schedule(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
@@ -45,8 +45,8 @@ void ThreadPool::Wait() {
          "never return; use ParallelFor/ParallelForRange for nested "
          "parallelism instead.";
   if (workers_.empty()) return;
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mutex_);
+  while (in_flight_ != 0) all_done_.Wait(&mutex_);
 }
 
 void ThreadPool::RunChunks(const std::shared_ptr<ForLoop>& loop) {
@@ -61,9 +61,10 @@ void ThreadPool::RunChunks(const std::shared_ptr<ForLoop>& loop) {
     const int64_t end = std::min(loop->n, begin + loop->chunk);
     (*loop->fn)(begin, end);
     {
-      std::unique_lock<std::mutex> lock(loop->mutex);
-      ++loop->completed;
-      if (loop->completed == loop->num_chunks) loop->done.notify_all();
+      ForLoop& wave = *loop;
+      MutexLock lock(&wave.mutex);
+      ++wave.completed;
+      if (wave.completed == wave.num_chunks) wave.done.NotifyAll();
     }
   }
 }
@@ -99,9 +100,9 @@ void ThreadPool::ParallelForRange(
   // calling thread alone, so nesting cannot deadlock.
   RunChunks(loop);
 
-  std::unique_lock<std::mutex> lock(loop->mutex);
-  loop->done.wait(lock,
-                  [&loop] { return loop->completed == loop->num_chunks; });
+  ForLoop& wave = *loop;
+  MutexLock lock(&wave.mutex);
+  while (wave.completed != wave.num_chunks) wave.done.Wait(&wave.mutex);
 }
 
 void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
@@ -116,21 +117,21 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutting_down_) return;
-        continue;
+      MutexLock lock(&mutex_);
+      while (!shutting_down_ && queue_.empty()) {
+        work_available_.Wait(&mutex_);
       }
+      // Shutdown drains the queue first: a task scheduled before the
+      // destructor ran still executes.
+      if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -2,14 +2,15 @@
 #define FEDDA_CORE_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace fedda::core {
 
@@ -32,9 +33,13 @@ class ThreadPool {
 
   /// Blocks until every scheduled task has finished. Calling it from inside
   /// a worker task of the same pool CHECK-fails immediately (the caller's
-  /// own task counts as in-flight, so it could never return). Use
-  /// ParallelFor/ParallelForRange for nested parallelism instead.
-  void Wait();
+  /// own task counts as in-flight, so it could never return); the check
+  /// runs before any lock is taken, so the abort is prompt even if the
+  /// caller holds unrelated locks. Use ParallelFor/ParallelForRange for
+  /// nested parallelism instead. FEDDA_EXCLUDES makes calling it while
+  /// already holding mutex_ (a guaranteed self-deadlock) a compile error
+  /// under -Wthread-safety.
+  void Wait() FEDDA_EXCLUDES(mutex_);
 
   /// Runs fn(i) for i in [0, n), then returns. Work is split into contiguous
   /// chunks of at least `grain` indices — one enqueue per chunk, not per
@@ -56,16 +61,18 @@ class ThreadPool {
 
  private:
   /// Shared state of one ParallelFor wave. Helpers claim chunks via an atomic
-  /// cursor; the caller waits until every chunk has completed.
+  /// cursor; the caller waits until every chunk has completed. Everything
+  /// except `completed` is written once before the wave is published and
+  /// read-only afterwards, so only the completion count needs the lock.
   struct ForLoop {
     int64_t n = 0;
     int64_t chunk = 1;
     int64_t num_chunks = 0;
     const std::function<void(int64_t, int64_t)>* fn = nullptr;
     std::atomic<int64_t> next_chunk{0};
-    std::mutex mutex;
-    std::condition_variable done;
-    int64_t completed = 0;
+    Mutex mutex;
+    CondVar done;
+    int64_t completed FEDDA_GUARDED_BY(mutex) = 0;
   };
 
   void WorkerLoop();
@@ -75,13 +82,13 @@ class ThreadPool {
   /// threads). Lets Wait() detect the deadlocking call-from-worker case.
   static thread_local const ThreadPool* current_worker_pool_;
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  int in_flight_ = 0;
-  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;  // immutable after the constructor
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ FEDDA_GUARDED_BY(mutex_);
+  int in_flight_ FEDDA_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ FEDDA_GUARDED_BY(mutex_) = false;
 };
 
 /// Chunked parallel-for over [0, n) that tolerates a null or worker-less pool

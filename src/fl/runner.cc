@@ -245,17 +245,13 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
 
   // Downlink version tracking for the measured wire accounting: the server
   // re-ships a group to a client only when the client requests it (FedAvg
-  // requests everything) and its cached copy is stale. Clients start at
-  // version -1 ("never sent"), so round 0 charges the initial full
-  // broadcast; groups advance versions only when aggregation writes them,
-  // so FedAvg's unselected groups and FedDA's unrequested groups are never
-  // re-shipped — until a reactivated mask requests a stale group again,
-  // which is charged as a resync.
+  // requests everything) and its cached copy is stale. The staleness
+  // bookkeeping lives in the wire layer's DownlinkVersionTracker (round 0
+  // charges the initial full broadcast, reactivations are charged as
+  // resyncs); the round loop only decides which groups each client
+  // requests.
   const int num_groups = global_store->num_groups();
-  std::vector<int> group_version(static_cast<size_t>(num_groups), 0);
-  std::vector<std::vector<int>> sent_version(
-      static_cast<size_t>(m),
-      std::vector<int>(static_cast<size_t>(num_groups), -1));
+  DownlinkVersionTracker downlink_tracker(m, num_groups);
 
   FlRunResult result;
   result.history.reserve(static_cast<size_t>(options_.rounds));
@@ -397,17 +393,12 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
       // Downlink: requested groups whose cached version is stale. An empty
       // need-list costs nothing — the round trigger itself is covered by
       // the timing model's fixed per-round latency.
-      std::vector<int> need;
-      std::vector<int>& cached = sent_version[static_cast<size_t>(c)];
+      std::vector<int> requested;
       for (int gid = 0; gid < num_groups; ++gid) {
         if (is_fedda && !state.GroupRequested(c, gid)) continue;
-        if (cached[static_cast<size_t>(gid)] !=
-            group_version[static_cast<size_t>(gid)]) {
-          need.push_back(gid);
-          cached[static_cast<size_t>(gid)] =
-              group_version[static_cast<size_t>(gid)];
-        }
+        requested.push_back(gid);
       }
+      const std::vector<int> need = downlink_tracker.ClaimStale(c, requested);
       int64_t downlink_bytes = 0;
       int64_t downlink_scalars = 0;
       if (!need.empty()) {
@@ -432,11 +423,7 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
       magnitudes =
           AggregateAndMeasure(participants, broadcast, selected_groups,
                               state, global_store, &groups_updated);
-      for (int gid = 0; gid < num_groups; ++gid) {
-        if (groups_updated[static_cast<size_t>(gid)]) {
-          ++group_version[static_cast<size_t>(gid)];
-        }
-      }
+      downlink_tracker.AdvanceGroups(groups_updated);
     }
 
     if (is_fedda) {

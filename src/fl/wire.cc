@@ -300,4 +300,60 @@ WirePayload BuildDownlinkPayload(const std::vector<int>& groups, int client,
   return payload;
 }
 
+DownlinkVersionTracker::DownlinkVersionTracker(int num_clients, int num_groups)
+    : num_clients_(num_clients), num_groups_(num_groups),
+      group_version_(static_cast<size_t>(num_groups), 0),
+      sent_version_(static_cast<size_t>(num_clients),
+                    std::vector<int>(static_cast<size_t>(num_groups), -1)) {
+  FEDDA_CHECK_GT(num_clients, 0);
+  FEDDA_CHECK_GE(num_groups, 0);
+}
+
+std::vector<int> DownlinkVersionTracker::ClaimStale(
+    int client, const std::vector<int>& requested) {
+  FEDDA_CHECK_GE(client, 0);
+  FEDDA_CHECK_LT(client, num_clients_);
+  std::vector<int> need;
+  core::MutexLock lock(&mu_);
+  std::vector<int>& cached = sent_version_[static_cast<size_t>(client)];
+  for (int gid : requested) {
+    FEDDA_CHECK_GE(gid, 0);
+    FEDDA_CHECK_LT(gid, num_groups_);
+    if (cached[static_cast<size_t>(gid)] !=
+        group_version_[static_cast<size_t>(gid)]) {
+      need.push_back(gid);
+      cached[static_cast<size_t>(gid)] =
+          group_version_[static_cast<size_t>(gid)];
+    }
+  }
+  return need;
+}
+
+void DownlinkVersionTracker::AdvanceGroups(
+    const std::vector<uint8_t>& updated) {
+  FEDDA_CHECK_EQ(static_cast<int>(updated.size()), num_groups_);
+  core::MutexLock lock(&mu_);
+  for (int gid = 0; gid < num_groups_; ++gid) {
+    if (updated[static_cast<size_t>(gid)]) {
+      ++group_version_[static_cast<size_t>(gid)];
+    }
+  }
+}
+
+int DownlinkVersionTracker::group_version(int gid) const {
+  FEDDA_CHECK_GE(gid, 0);
+  FEDDA_CHECK_LT(gid, num_groups_);
+  core::MutexLock lock(&mu_);
+  return group_version_[static_cast<size_t>(gid)];
+}
+
+int DownlinkVersionTracker::sent_version(int client, int gid) const {
+  FEDDA_CHECK_GE(client, 0);
+  FEDDA_CHECK_LT(client, num_clients_);
+  FEDDA_CHECK_GE(gid, 0);
+  FEDDA_CHECK_LT(gid, num_groups_);
+  core::MutexLock lock(&mu_);
+  return sent_version_[static_cast<size_t>(client)][static_cast<size_t>(gid)];
+}
+
 }  // namespace fedda::fl

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/status.h"
+#include "core/thread_annotations.h"
 #include "fl/activation.h"
 #include "tensor/parameter_store.h"
 
@@ -136,6 +138,54 @@ WirePayload BuildDenseUplinkPayload(const std::vector<int>& groups,
 WirePayload BuildDownlinkPayload(const std::vector<int>& groups, int client,
                                  int round,
                                  const tensor::ParameterStore& global);
+
+/// Server-side downlink staleness tracking. The server re-ships a group to
+/// a client only when the client requests it and its cached copy is stale;
+/// this class owns the version bookkeeping that decides "stale". Every
+/// group starts at version 0 and every client's cached version at -1
+/// ("never sent"), so a client's first request charges the initial full
+/// broadcast; AdvanceGroups() bumps a group's version when aggregation
+/// rewrites it, so unrequested or unselected groups are never re-shipped —
+/// until a reactivated mask requests a stale group again, which is then
+/// charged as a resync.
+///
+/// The state is mutex-guarded (a deployment's server answers many clients
+/// concurrently); the sequential round loop pays one uncontended lock per
+/// call. The lock covers each call, not a round: callers must not
+/// interleave AdvanceGroups() with a round's ClaimStale() sweep if they
+/// need all clients charged against the same versions.
+class DownlinkVersionTracker {
+ public:
+  DownlinkVersionTracker(int num_clients, int num_groups);
+  DownlinkVersionTracker(const DownlinkVersionTracker&) = delete;
+  DownlinkVersionTracker& operator=(const DownlinkVersionTracker&) = delete;
+
+  /// Filters ascending group ids `requested` down to the ones whose cached
+  /// version at `client` is stale, marks those as sent at the current
+  /// version, and returns them (still ascending). Groups outside
+  /// `requested` are untouched — a client that stops requesting a group
+  /// keeps its stale cache entry and pays the resync when it asks again.
+  std::vector<int> ClaimStale(int client, const std::vector<int>& requested)
+      FEDDA_EXCLUDES(mu_);
+
+  /// Bumps the version of every group with a nonzero flag in `updated`
+  /// (indexed by group id, as filled by the aggregation step).
+  void AdvanceGroups(const std::vector<uint8_t>& updated) FEDDA_EXCLUDES(mu_);
+
+  int num_clients() const { return num_clients_; }
+  int num_groups() const { return num_groups_; }
+
+  /// Test accessors.
+  int group_version(int gid) const FEDDA_EXCLUDES(mu_);
+  int sent_version(int client, int gid) const FEDDA_EXCLUDES(mu_);
+
+ private:
+  const int num_clients_;
+  const int num_groups_;
+  mutable core::Mutex mu_;
+  std::vector<int> group_version_ FEDDA_GUARDED_BY(mu_);
+  std::vector<std::vector<int>> sent_version_ FEDDA_GUARDED_BY(mu_);
+};
 
 }  // namespace fedda::fl
 

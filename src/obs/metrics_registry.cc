@@ -46,7 +46,7 @@ MetricsRegistry::Entry* MetricsRegistry::FindLocked(const std::string& name) {
 }
 
 Counter* MetricsRegistry::AddCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(&mu_);
   if (Entry* existing = FindLocked(name)) {
     FEDDA_CHECK(existing->kind == Kind::kCounter)
         << "metric '" << name << "' already registered as a different kind";
@@ -62,7 +62,7 @@ Counter* MetricsRegistry::AddCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::AddGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(&mu_);
   if (Entry* existing = FindLocked(name)) {
     FEDDA_CHECK(existing->kind == Kind::kGauge)
         << "metric '" << name << "' already registered as a different kind";
@@ -79,7 +79,7 @@ Gauge* MetricsRegistry::AddGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::AddHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(&mu_);
   if (Entry* existing = FindLocked(name)) {
     FEDDA_CHECK(existing->kind == Kind::kHistogram)
         << "metric '" << name << "' already registered as a different kind";
@@ -95,7 +95,7 @@ Histogram* MetricsRegistry::AddHistogram(const std::string& name,
 }
 
 std::string MetricsRegistry::TextReport() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(&mu_);
   std::string out;
   for (const auto& entry : entries_) {
     switch (entry->kind) {
@@ -139,7 +139,7 @@ core::Status MetricsRegistry::WriteCsv(const std::string& path) const {
   }
   out << "name,kind,value\n";
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(&mu_);
     for (const auto& entry : entries_) {
       switch (entry->kind) {
         case Kind::kCounter:

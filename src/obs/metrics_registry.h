@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/status.h"
+#include "core/thread_annotations.h"
 
 namespace fedda::obs {
 
@@ -71,18 +72,20 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* AddCounter(const std::string& name);
-  Gauge* AddGauge(const std::string& name);
+  Counter* AddCounter(const std::string& name) FEDDA_EXCLUDES(mu_);
+  Gauge* AddGauge(const std::string& name) FEDDA_EXCLUDES(mu_);
   /// `bounds` must be strictly ascending. Ignored if `name` already exists.
-  Histogram* AddHistogram(const std::string& name, std::vector<double> bounds);
+  Histogram* AddHistogram(const std::string& name, std::vector<double> bounds)
+      FEDDA_EXCLUDES(mu_);
 
   /// Human-readable dump, one `name value` line per instrument, in
   /// registration order. Histograms render count/sum/mean plus buckets.
-  std::string TextReport() const;
+  std::string TextReport() const FEDDA_EXCLUDES(mu_);
 
   /// CSV rows `name,kind,value` (histograms expand to count/sum/bucket
   /// rows). Stable order for golden-file comparisons.
-  [[nodiscard]] core::Status WriteCsv(const std::string& path) const;
+  [[nodiscard]] core::Status WriteCsv(const std::string& path) const
+      FEDDA_EXCLUDES(mu_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -94,10 +97,13 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry* FindLocked(const std::string& name);
+  /// Lookup helper for the Add* registrations; the caller holds mu_.
+  Entry* FindLocked(const std::string& name) FEDDA_REQUIRES(mu_);
 
-  mutable std::mutex mu_;  // guards entries_ layout; values are atomics
-  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+  /// Guards the entries_ layout only; instrument values are atomics, so
+  /// handle holders never take the lock.
+  mutable core::Mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_ FEDDA_GUARDED_BY(mu_);
 };
 
 }  // namespace fedda::obs

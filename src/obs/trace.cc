@@ -47,7 +47,7 @@ Tracer::ThreadLog* Tracer::GetThreadLog() {
   if (tls_cache.generation == generation_) {
     return static_cast<ThreadLog*>(tls_cache.log);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(&mu_);
   const std::thread::id self = std::this_thread::get_id();
   auto it = by_thread_.find(self);
   ThreadLog* log;
@@ -67,10 +67,11 @@ Tracer::ThreadLog* Tracer::GetThreadLog() {
 
 std::vector<Span> Tracer::Collect() const {
   std::vector<Span> all;
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(&mu_);
   for (const auto& log : logs_) {
-    std::lock_guard<std::mutex> log_lock(log->mu);
-    for (const Span& span : log->spans) {
+    ThreadLog& tl = *log;
+    core::MutexLock log_lock(&tl.mu);
+    for (const Span& span : tl.spans) {
       if (span.dur_ns >= 0) all.push_back(span);
     }
   }
@@ -193,7 +194,7 @@ ScopedSpan::ScopedSpan(Tracer* tracer, const char* name, const char* arg_name,
   span.start_ns = start_ns_;
   span.dur_ns = -1;  // open; skipped by Collect() until we close it
   {
-    std::lock_guard<std::mutex> lock(log_->mu);
+    core::MutexLock lock(&log_->mu);
     index_ = log_->spans.size();
     log_->spans.push_back(span);
   }
@@ -204,7 +205,7 @@ ScopedSpan::~ScopedSpan() {
   if (tracer_ == nullptr) return;
   const int64_t end_ns = tracer_->NowNs();
   --log_->depth;
-  std::lock_guard<std::mutex> lock(log_->mu);
+  core::MutexLock lock(&log_->mu);
   log_->spans[index_].dur_ns = end_ns - start_ns_;
 }
 

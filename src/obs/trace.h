@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/status.h"
+#include "core/thread_annotations.h"
 
 namespace fedda::obs {
 
@@ -46,7 +47,7 @@ class Tracer {
 
   /// Merges every thread's buffer into one list sorted by (start_ns, tid).
   /// Spans still open at the time of the call are omitted.
-  std::vector<Span> Collect() const;
+  std::vector<Span> Collect() const FEDDA_EXCLUDES(mu_);
 
   /// Chrome trace_event JSON ("complete" events); load via chrome://tracing
   /// or https://ui.perfetto.dev.
@@ -75,25 +76,25 @@ class Tracer {
   friend class ScopedSpan;
 
   struct ThreadLog {
-    std::mutex mu;  // guards `spans`; uncontended except during Collect()
-    std::vector<Span> spans;
-    int tid = 0;
-    int depth = 0;  // touched only by the owning thread
+    core::Mutex mu;  // uncontended except during Collect()
+    std::vector<Span> spans FEDDA_GUARDED_BY(mu);
+    int tid = 0;    // immutable after creation
+    int depth = 0;  // touched only by the owning thread; no lock needed
   };
 
   /// Returns this thread's log, creating it on first use. A thread_local
   /// cache keyed by the tracer's generation id makes the steady-state cost
   /// one branch; misses fall back to a map lookup under mu_ so a thread
   /// re-entering the same tracer keeps its tid (and thus its span nesting).
-  ThreadLog* GetThreadLog();
+  ThreadLog* GetThreadLog() FEDDA_EXCLUDES(mu_);
 
   int64_t NowNs() const;
 
   const uint64_t generation_;
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;  // guards logs_ and by_thread_
-  std::vector<std::unique_ptr<ThreadLog>> logs_;
-  std::map<std::thread::id, ThreadLog*> by_thread_;
+  mutable core::Mutex mu_;
+  std::vector<std::unique_ptr<ThreadLog>> logs_ FEDDA_GUARDED_BY(mu_);
+  std::map<std::thread::id, ThreadLog*> by_thread_ FEDDA_GUARDED_BY(mu_);
 };
 
 /// RAII span. Opens on construction, closes on destruction. With a null

@@ -191,5 +191,26 @@ TEST(ThreadPoolDeathTest, WaitFromOwnWorkerTaskCheckFails) {
       "Wait\\(\\) called from inside a worker task");
 }
 
+TEST(ThreadPoolDeathTest, WaitUnderCallerLockStillAbortsPromptly) {
+  // Wait-under-lock misuse: a worker task that calls Wait() while holding
+  // one of the *caller's* locks. The worker-identity CHECK runs before
+  // Wait() touches the pool's own mutex (its FEDDA_EXCLUDES(mutex_)
+  // contract), so the abort is immediate even with a foreign lock held —
+  // a guard placed after the lock acquisition would deadlock here instead
+  // of dying, and the death test would hang.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        Mutex caller_mu;
+        pool.Schedule([&pool, &caller_mu] {
+          MutexLock lock(&caller_mu);
+          pool.Wait();
+        });
+        pool.Wait();
+      },
+      "Wait\\(\\) called from inside a worker task");
+}
+
 }  // namespace
 }  // namespace fedda::core

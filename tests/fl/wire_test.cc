@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -313,6 +314,63 @@ TEST(WirePayloadTest, ApplyToRejectsLayoutMismatch) {
   wrong_size.Register("dense1", Tensor::RandomNormal(1, 4, &rng));
   wrong_size.Register("ent_c", Tensor::RandomNormal(5, 5, &rng), true, 2);
   EXPECT_FALSE(payload.ApplyTo(&wrong_size).ok());
+}
+
+TEST(DownlinkVersionTrackerTest, RoundZeroEverythingIsStale) {
+  DownlinkVersionTracker tracker(/*num_clients=*/2, /*num_groups=*/3);
+  // Cached versions start at -1 ("never sent"), group versions at 0, so
+  // the first request from each client is a full broadcast.
+  EXPECT_EQ(tracker.ClaimStale(0, {0, 1, 2}), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(tracker.ClaimStale(1, {0, 1, 2}), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DownlinkVersionTrackerTest, ClaimMarksSentSoRepeatIsEmpty) {
+  DownlinkVersionTracker tracker(1, 3);
+  EXPECT_EQ(tracker.ClaimStale(0, {0, 1, 2}), (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(tracker.ClaimStale(0, {0, 1, 2}).empty());
+  EXPECT_EQ(tracker.sent_version(0, 0), 0);
+  EXPECT_EQ(tracker.group_version(0), 0);
+}
+
+TEST(DownlinkVersionTrackerTest, AdvanceRestalesOnlyUpdatedGroups) {
+  DownlinkVersionTracker tracker(1, 4);
+  (void)tracker.ClaimStale(0, {0, 1, 2, 3});
+  tracker.AdvanceGroups({/*g0=*/1, /*g1=*/0, /*g2=*/1, /*g3=*/0});
+  EXPECT_EQ(tracker.group_version(0), 1);
+  EXPECT_EQ(tracker.group_version(1), 0);
+  // Only the aggregated groups need re-shipping.
+  EXPECT_EQ(tracker.ClaimStale(0, {0, 1, 2, 3}), (std::vector<int>{0, 2}));
+}
+
+TEST(DownlinkVersionTrackerTest, ClientsAreTrackedIndependently) {
+  DownlinkVersionTracker tracker(2, 2);
+  (void)tracker.ClaimStale(0, {0, 1});
+  tracker.AdvanceGroups({1, 0});
+  // Client 0 is stale only on group 0; client 1 never received anything.
+  EXPECT_EQ(tracker.ClaimStale(0, {0, 1}), (std::vector<int>{0}));
+  EXPECT_EQ(tracker.ClaimStale(1, {0, 1}), (std::vector<int>{0, 1}));
+}
+
+TEST(DownlinkVersionTrackerTest, ReactivationResyncShipsEveryMissedUpdate) {
+  // A client that skips rounds (deactivated) must receive every group
+  // whose version advanced while it was away — but nothing more.
+  DownlinkVersionTracker tracker(1, 3);
+  (void)tracker.ClaimStale(0, {0, 1, 2});
+  tracker.AdvanceGroups({1, 1, 0});  // round 0 aggregates groups 0, 1
+  tracker.AdvanceGroups({0, 1, 0});  // round 1 (client away): group 1 again
+  EXPECT_EQ(tracker.group_version(1), 2);
+  EXPECT_EQ(tracker.ClaimStale(0, {0, 1, 2}), (std::vector<int>{0, 1}));
+  // One re-ship is enough regardless of how many versions were missed.
+  EXPECT_TRUE(tracker.ClaimStale(0, {0, 1, 2}).empty());
+}
+
+TEST(DownlinkVersionTrackerTest, UnrequestedGroupsStayStale) {
+  // FedDA clients only request their activated groups; the rest must
+  // remain stale for a later round, not be silently marked current.
+  DownlinkVersionTracker tracker(1, 3);
+  EXPECT_EQ(tracker.ClaimStale(0, {1}), (std::vector<int>{1}));
+  EXPECT_EQ(tracker.sent_version(0, 0), -1);
+  EXPECT_EQ(tracker.ClaimStale(0, {0, 1, 2}), (std::vector<int>{0, 2}));
 }
 
 }  // namespace

@@ -1,0 +1,22 @@
+// MUST NOT COMPILE under -Werror=thread-safety-analysis: acquires the same
+// mutex twice in one scope (core::Mutex is not recursive — at runtime this
+// is undefined behavior / deadlock).
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+
+namespace {
+
+struct State {
+  fedda::core::Mutex mu;
+  int value FEDDA_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  State state;
+  fedda::core::MutexLock outer(&state.mu);
+  fedda::core::MutexLock inner(&state.mu);  // BAD: mu is already held.
+  return state.value;
+}

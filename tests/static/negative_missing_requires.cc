@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under -Werror=thread-safety-analysis: calls a
+// FEDDA_REQUIRES method without holding the required mutex. If this
+// compiles, requires_capability is no longer enforced at call sites.
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int ReadLocked() FEDDA_REQUIRES(mu_) { return value_; }
+
+  fedda::core::Mutex mu_;
+
+ private:
+  int value_ FEDDA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.ReadLocked();  // BAD: caller does not hold mu_.
+}

@@ -1,0 +1,20 @@
+// MUST NOT COMPILE under -Werror=thread-safety-analysis: reads a
+// FEDDA_GUARDED_BY member without holding its mutex. If this compiles, the
+// guarded_by annotation is no longer reaching the compiler.
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  fedda::core::Mutex mu;
+  int value FEDDA_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.value;  // BAD: unlocked read of a guarded member.
+}

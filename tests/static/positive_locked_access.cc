@@ -1,0 +1,36 @@
+// Positive control for the tests/static fixtures: correct lock discipline
+// over every annotation used by the negative fixtures. If this file stops
+// compiling, the negative fixtures are failing for the wrong reason (a
+// broken include path or flag), not because the analysis caught misuse.
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() FEDDA_EXCLUDES(mu_) {
+    fedda::core::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int Read() FEDDA_EXCLUDES(mu_) {
+    fedda::core::MutexLock lock(&mu_);
+    return ReadLocked();
+  }
+
+ private:
+  int ReadLocked() FEDDA_REQUIRES(mu_) { return value_; }
+
+  fedda::core::Mutex mu_;
+  int value_ FEDDA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Read() == 1 ? 0 : 1;
+}

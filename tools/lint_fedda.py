@@ -1,18 +1,49 @@
 #!/usr/bin/env python3
-"""Repo-invariant linter for the fedda tree.
+"""Repo-invariant and determinism linter for the fedda tree.
 
-Enforces the contracts the compiler cannot see:
+Enforces the contracts the compiler cannot see. Each rule has a stable id
+(shown in brackets in every violation) so CI output and the allowlist can
+name rules precisely.
 
-  1. `src/` is exception-free: no `throw` statements or `try` blocks. The
-     library's error discipline is Status/Result + CHECK (see
-     src/core/status.h); an exception anywhere in src/ breaks the contract
-     every caller relies on.
-  2. No `using namespace` at namespace scope in any header: headers are
-     included everywhere and would leak the alias into every TU.
-  3. Include guards follow the FEDDA_<PATH>_H_ convention and match the
-     file's path, so guards can never collide.
-  4. Every `tests/**/*_test.cc` is registered in a CMakeLists.txt: a test
-     file that exists but is not compiled is a silent coverage hole.
+Repo invariants:
+
+  no-throw / no-try        `src/` is exception-free. The library's error
+                           discipline is Status/Result + CHECK (see
+                           src/core/status.h).
+  header-using-namespace   No `using namespace` at namespace scope in any
+                           header.
+  include-guard            Include guards follow FEDDA_<PATH>_H_ and match
+                           the file's path.
+  test-unregistered        Every `tests/**/*_test.cc` is registered in a
+                           CMakeLists.txt.
+
+Determinism rules (seeded runs must be bit-reproducible — the Table-2/3
+goldens and the destination-grouped parallel kernels depend on it; no
+sanitizer can catch these, only a static scan can):
+
+  det-random-device        `std::random_device` in src/ outside src/obs/.
+                           Ambient entropy breaks seeded reproducibility;
+                           derive streams from core::Rng::Split().
+  det-libc-rand            `rand()` / `srand()` in src/ outside src/obs/.
+                           Hidden global state, not seedable per run.
+  det-time-seed            RNG constructed or seeded from a clock in src/
+                           outside src/obs/ (e.g. mt19937(time(nullptr))).
+  det-thread-id            `std::this_thread::get_id()` in src/ outside
+                           src/obs/. Thread identity varies run to run;
+                           logic keyed on it diverges under a pool.
+  det-unordered-iter       Range-for over a `std::unordered_map`/
+                           `std::unordered_set` inside src/fl/, src/tensor/,
+                           or any Save/Write/Serialize/Encode function in
+                           src/. Hash-iteration order is
+                           implementation-defined; accumulation or
+                           serialization fed from it is not reproducible.
+                           Iterate sorted keys or use an ordered container.
+
+Allowlist: tools/lint_allowlist.txt suppresses a (rule, file) pair. Every
+entry must carry a justification after `--`; entries without one, and
+entries that no longer suppress anything, are themselves violations
+(allowlist-missing-justification / allowlist-unused), so the list cannot
+rot.
 
 Exit code 0 when clean, 1 with one line per violation otherwise.
 
@@ -25,12 +56,42 @@ import re
 import sys
 from pathlib import Path
 
-# `throw` as a statement. Allowed to appear in comments/strings — those are
-# stripped first — and nowhere else. `try` must be the keyword (start of a
-# block), not a substring of an identifier.
 THROW_RE = re.compile(r"\bthrow\b")
 TRY_RE = re.compile(r"\btry\s*\{")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+
+RANDOM_DEVICE_RE = re.compile(r"\brandom_device\b")
+LIBC_RAND_RE = re.compile(r"\b(?:std\s*::\s*)?s?rand\s*\(")
+THREAD_ID_RE = re.compile(r"\bthis_thread\s*::\s*get_id\s*\(")
+# An RNG being constructed (`mt19937 gen(...)`, `Rng(...)`) or (re)seeded...
+RNG_SINK_RE = re.compile(
+    r"\b(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
+    r"ranlux\w*|knuth_b|Rng)\b[^;()]*\(|\.\s*seed\s*\(")
+# ...from a wall/steady clock or the C time API on the same line.
+TIME_SOURCE_RE = re.compile(
+    r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)|\bclock\s*\(\s*\)|"
+    r"::\s*now\s*\(\s*\)")
+
+# A function whose name marks a serialization path: unordered iteration
+# inside it feeds bytes that golden files compare.
+SERIAL_FN_RE = re.compile(r"\b(?:Save|Write|Serialize|Encode)\w*\s*\(")
+
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(.*?:\s*[&*]?([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)\s*\)")
+
+ALLOWLIST_NAME = Path("tools") / "lint_allowlist.txt"
+
+
+class Violation:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path      # repo-relative, posix separators
+        self.line = line      # 1-based; 0 = whole file
+        self.rule = rule
+        self.message = message
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.rule}] {self.message}"
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -103,69 +164,265 @@ def expected_guard(root: Path, path: Path) -> str:
     return f"FEDDA_{stem}_"
 
 
-def check_exception_free(root: Path, errors: list[str]) -> None:
-    for path in sorted((root / "src").rglob("*")):
-        if path.suffix not in (".h", ".cc"):
-            continue
+def src_files(root: Path):
+    base = root / "src"
+    if not base.is_dir():
+        return
+    for path in sorted(base.rglob("*")):
+        if path.suffix in (".h", ".cc"):
+            yield path
+
+
+def rel_posix(root: Path, path: Path) -> str:
+    return path.relative_to(root).as_posix()
+
+
+def in_obs(root: Path, path: Path) -> bool:
+    return rel_posix(root, path).startswith("src/obs/")
+
+
+def check_exception_free(root: Path, errors: list[Violation]) -> None:
+    for path in src_files(root):
         clean = strip_comments_and_strings(path.read_text())
+        rel = rel_posix(root, path)
         for lineno, line in enumerate(clean.splitlines(), 1):
             if THROW_RE.search(line):
-                errors.append(
-                    f"{path.relative_to(root)}:{lineno}: `throw` in src/ — "
-                    "the library is exception-free; return a Status instead")
+                errors.append(Violation(
+                    rel, lineno, "no-throw",
+                    "`throw` in src/ — the library is exception-free; "
+                    "return a Status instead"))
             if TRY_RE.search(line):
-                errors.append(
-                    f"{path.relative_to(root)}:{lineno}: `try` block in src/ "
-                    "— the library is exception-free; nothing here throws")
+                errors.append(Violation(
+                    rel, lineno, "no-try",
+                    "`try` block in src/ — the library is exception-free; "
+                    "nothing here throws"))
 
 
-def check_headers(root: Path, errors: list[str]) -> None:
+def check_headers(root: Path, errors: list[Violation]) -> None:
     header_dirs = [root / "src", root / "bench", root / "tests"]
     for base in header_dirs:
+        if not base.is_dir():
+            continue
         for path in sorted(base.rglob("*.h")):
             text = path.read_text()
             clean = strip_comments_and_strings(text)
-            rel = path.relative_to(root)
+            rel = rel_posix(root, path)
             for lineno, line in enumerate(clean.splitlines(), 1):
                 if USING_NAMESPACE_RE.search(line):
-                    errors.append(
-                        f"{rel}:{lineno}: `using namespace` in a header "
-                        "leaks into every includer; qualify names instead")
+                    errors.append(Violation(
+                        rel, lineno, "header-using-namespace",
+                        "`using namespace` in a header leaks into every "
+                        "includer; qualify names instead"))
             guard = expected_guard(root, path)
             ifndef = re.search(r"#ifndef\s+(\S+)", text)
             define = re.search(r"#define\s+(\S+)", text)
-            endif_ok = re.search(
-                r"#endif\s*//\s*" + re.escape(guard), text)
+            endif_ok = re.search(r"#endif\s*//\s*" + re.escape(guard), text)
             if not ifndef or ifndef.group(1) != guard:
                 got = ifndef.group(1) if ifndef else "<none>"
-                errors.append(
-                    f"{rel}:1: include guard must be {guard} (got {got})")
+                errors.append(Violation(
+                    rel, 1, "include-guard",
+                    f"include guard must be {guard} (got {got})"))
             elif not define or define.group(1) != guard:
-                errors.append(
-                    f"{rel}:2: #define must repeat the guard {guard}")
+                errors.append(Violation(
+                    rel, 2, "include-guard",
+                    f"#define must repeat the guard {guard}"))
             elif not endif_ok:
-                errors.append(
-                    f"{rel}: closing #endif must carry `// {guard}`")
+                errors.append(Violation(
+                    rel, 0, "include-guard",
+                    f"closing #endif must carry `// {guard}`"))
 
 
-def check_tests_registered(root: Path, errors: list[str]) -> None:
+def check_tests_registered(root: Path, errors: list[Violation]) -> None:
+    tests = root / "tests"
+    if not tests.is_dir():
+        return
     cmake_text = "\n".join(
-        p.read_text() for p in (root / "tests").rglob("CMakeLists.txt"))
-    for path in sorted((root / "tests").rglob("*_test.cc")):
-        rel_to_tests = path.relative_to(root / "tests").as_posix()
+        p.read_text() for p in tests.rglob("CMakeLists.txt"))
+    for path in sorted(tests.rglob("*_test.cc")):
+        rel_to_tests = path.relative_to(tests).as_posix()
         if rel_to_tests not in cmake_text:
-            errors.append(
-                f"{path.relative_to(root)}: not registered in any "
-                "tests/**/CMakeLists.txt — the file is never compiled")
+            errors.append(Violation(
+                rel_posix(root, path), 0, "test-unregistered",
+                "not registered in any tests/**/CMakeLists.txt — the file "
+                "is never compiled"))
+
+
+def check_ambient_entropy(root: Path, errors: list[Violation]) -> None:
+    """det-random-device / det-libc-rand / det-time-seed / det-thread-id:
+    ambient nondeterminism sources, banned in src/ outside src/obs/ (the
+    observability layer may hash thread ids and read clocks — it never
+    feeds numerics)."""
+    for path in src_files(root):
+        if in_obs(root, path):
+            continue
+        clean = strip_comments_and_strings(path.read_text())
+        rel = rel_posix(root, path)
+        for lineno, line in enumerate(clean.splitlines(), 1):
+            if RANDOM_DEVICE_RE.search(line):
+                errors.append(Violation(
+                    rel, lineno, "det-random-device",
+                    "std::random_device draws ambient entropy; seeded runs "
+                    "must derive streams from core::Rng::Split()"))
+            if LIBC_RAND_RE.search(line):
+                errors.append(Violation(
+                    rel, lineno, "det-libc-rand",
+                    "rand()/srand() use hidden global state; use core::Rng"))
+            if THREAD_ID_RE.search(line):
+                errors.append(Violation(
+                    rel, lineno, "det-thread-id",
+                    "std::this_thread::get_id() varies run to run; logic "
+                    "keyed on thread identity diverges under a pool"))
+            if RNG_SINK_RE.search(line) and TIME_SOURCE_RE.search(line):
+                errors.append(Violation(
+                    rel, lineno, "det-time-seed",
+                    "RNG seeded from a clock; take the seed from options "
+                    "so runs are reproducible"))
+
+
+def unordered_container_names(clean: str) -> set[str]:
+    """Identifiers declared in this file with std::unordered_map/set type.
+    Angle brackets are matched by depth so nested template args don't
+    confuse the scan."""
+    names: set[str] = set()
+    for match in re.finditer(r"\bunordered_(?:map|set)\s*<", clean):
+        depth = 1
+        i = match.end()
+        while i < len(clean) and depth > 0:
+            if clean[i] == "<":
+                depth += 1
+            elif clean[i] == ">":
+                depth -= 1
+            i += 1
+        ident = re.match(r"\s*[&*]?\s*([A-Za-z_]\w*)\s*[;={(,)]", clean[i:])
+        if ident:
+            names.add(ident.group(1))
+    return names
+
+
+def serialization_spans(clean: str) -> list[tuple[int, int]]:
+    """(start_line, end_line) 1-based inclusive spans of function bodies
+    whose name matches Save/Write/Serialize/Encode. Declarations (`;`
+    before `{`) are skipped."""
+    spans: list[tuple[int, int]] = []
+    for match in SERIAL_FN_RE.finditer(clean):
+        i = match.end() - 1  # at the '('
+        depth = 0
+        # Walk past the parameter list.
+        while i < len(clean):
+            if clean[i] == "(":
+                depth += 1
+            elif clean[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    i += 1
+                    break
+            i += 1
+        # A body must open before any ';' (otherwise it's a declaration or
+        # a plain call).
+        while i < len(clean) and clean[i] not in ";{":
+            i += 1
+        if i >= len(clean) or clean[i] == ";":
+            continue
+        start_line = clean.count("\n", 0, i) + 1
+        depth = 0
+        while i < len(clean):
+            if clean[i] == "{":
+                depth += 1
+            elif clean[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        end_line = clean.count("\n", 0, i) + 1
+        spans.append((start_line, end_line))
+    return spans
+
+
+def check_unordered_iteration(root: Path, errors: list[Violation]) -> None:
+    """det-unordered-iter: range-for over an unordered container where the
+    iteration order can reach numerics or serialized bytes."""
+    for path in src_files(root):
+        rel = rel_posix(root, path)
+        always_scoped = rel.startswith("src/fl/") or rel.startswith(
+            "src/tensor/")
+        clean = strip_comments_and_strings(path.read_text())
+        names = unordered_container_names(clean)
+        if not names:
+            continue
+        spans = None if always_scoped else serialization_spans(clean)
+        for lineno, line in enumerate(clean.splitlines(), 1):
+            for loop in RANGE_FOR_RE.finditer(line):
+                leaf = re.split(r"\.|->", loop.group(1))[-1]
+                if leaf not in names:
+                    continue
+                if not always_scoped and not any(
+                        lo <= lineno <= hi for lo, hi in spans):
+                    continue
+                errors.append(Violation(
+                    rel, lineno, "det-unordered-iter",
+                    f"range-for over unordered container `{leaf}` — "
+                    "hash-iteration order is implementation-defined; "
+                    "iterate sorted keys or use an ordered container"))
+
+
+def apply_allowlist(root: Path, allowlist: Path,
+                    errors: list[Violation]) -> list[Violation]:
+    """Filters out violations covered by allowlist entries. Entry format:
+    `<rule-id> <path> -- <justification>`; `#` starts a comment. Entries
+    missing a justification or matching nothing become violations."""
+    allow_rel = allowlist.relative_to(root).as_posix() \
+        if allowlist.is_relative_to(root) else str(allowlist)
+    entries: dict[tuple[str, str], int] = {}  # (rule, path) -> lineno
+    kept: list[Violation] = []
+    if allowlist.is_file():
+        for lineno, raw in enumerate(allowlist.read_text().splitlines(), 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            head, sep, justification = line.partition("--")
+            fields = head.split()
+            if len(fields) != 2 or not sep or not justification.strip():
+                kept.append(Violation(
+                    allow_rel, lineno, "allowlist-missing-justification",
+                    "allowlist entries are `<rule-id> <path> -- <why>`; "
+                    "the justification is not optional"))
+                continue
+            entries[(fields[0], fields[1])] = lineno
+    used: set[tuple[str, str]] = set()
+    for violation in errors:
+        key = (violation.rule, violation.path)
+        if key in entries:
+            used.add(key)
+        else:
+            kept.append(violation)
+    for key, lineno in entries.items():
+        if key not in used:
+            kept.append(Violation(
+                allow_rel, lineno, "allowlist-unused",
+                f"entry ({key[0]}, {key[1]}) suppresses nothing; "
+                "delete it so the allowlist cannot rot"))
+    return kept
+
+
+def run(root: Path, allowlist: Path | None = None) -> list[str]:
+    """Runs every rule over `root`; returns rendered violations."""
+    errors: list[Violation] = []
+    check_exception_free(root, errors)
+    check_headers(root, errors)
+    check_tests_registered(root, errors)
+    check_ambient_entropy(root, errors)
+    check_unordered_iteration(root, errors)
+    if allowlist is None:
+        allowlist = root / ALLOWLIST_NAME
+    errors = apply_allowlist(root, allowlist, errors)
+    errors.sort(key=lambda v: (v.path, v.line, v.rule))
+    return [v.render() for v in errors]
 
 
 def main() -> int:
     root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
         __file__).resolve().parent.parent
-    errors: list[str] = []
-    check_exception_free(root, errors)
-    check_headers(root, errors)
-    check_tests_registered(root, errors)
+    errors = run(root)
     for err in errors:
         print(err)
     if errors:
