@@ -7,6 +7,7 @@
 // skewed. Rounds are charged off real fl/wire.h payload sizes in both
 // directions; the per-direction byte totals are reported alongside time.
 
+#include <cmath>
 #include <iostream>
 
 #include "bench/bench_common.h"
@@ -56,6 +57,11 @@ int Main(int argc, char** argv) {
                            "downlink_bytes", "train_sec", "encode_sec",
                            "aggregate_sec", "eval_sec", "total_sec",
                            "time_to_target_sec"}));
+  core::CsvWriter rounds_csv;
+  FEDDA_CHECK_OK(
+      rounds_csv.Open(OutputPath(flags, "time_to_accuracy_rounds.csv"),
+                      {"framework", "round", "auc", "mean_local_loss",
+                       "participants", "cumulative_sec"}));
 
   struct Row {
     std::string name;
@@ -116,6 +122,20 @@ int Main(int argc, char** argv) {
         core::FormatDouble(row.phases.eval_sec, 6),
         core::FormatDouble(row.timing.back().cumulative_sec, 3),
         core::FormatDouble(tta, 3)});
+    // Per-round convergence curve. mean_local_loss is NaN on a round where
+    // nothing was aggregated (everyone failed); emit an empty field, never
+    // "0.0" — averaging a fake perfect loss into the curve was the bug.
+    for (size_t r = 0; r < row.run.history.size(); ++r) {
+      const fl::RoundRecord& record = row.run.history[r];
+      rounds_csv.WriteRow(std::vector<std::string>{
+          row.name, std::to_string(record.round),
+          core::FormatDouble(record.auc, 6),
+          std::isnan(record.mean_local_loss)
+              ? std::string()
+              : core::FormatDouble(record.mean_local_loss, 6),
+          std::to_string(record.participants),
+          core::FormatDouble(row.timing[r].cumulative_sec, 3)});
+    }
   }
 
   std::cout << "\n\n=== Simulated time-to-accuracy (target AUC "

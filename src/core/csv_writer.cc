@@ -1,5 +1,7 @@
 #include "core/csv_writer.h"
 
+#include <cmath>
+
 #include "core/check.h"
 #include "core/string_util.h"
 
@@ -27,7 +29,12 @@ void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
 void CsvWriter::WriteRow(const std::vector<double>& values) {
   std::vector<std::string> fields;
   fields.reserve(values.size());
-  for (double v : values) fields.push_back(FormatDouble(v, 6));
+  for (double v : values) {
+    // NaN marks "no measurement" (e.g. a round where every client failed):
+    // an empty field keeps plotting/averaging tools from reading the
+    // sentinel as a real value the way a 0.0 would be.
+    fields.push_back(std::isnan(v) ? std::string() : FormatDouble(v, 6));
+  }
   WriteRow(fields);
 }
 

@@ -24,7 +24,9 @@ class CsvWriter {
   /// Appends one row. Must be called after a successful Open().
   void WriteRow(const std::vector<std::string>& fields);
 
-  /// Convenience: formats every double with 6 decimals.
+  /// Convenience: formats every double with 6 decimals. NaN values are
+  /// written as empty fields (the no-measurement convention; see
+  /// RoundRecord::mean_local_loss), never as the string "nan".
   void WriteRow(const std::vector<double>& values);
 
   /// Flushes and closes. Safe to call multiple times.

@@ -1,0 +1,135 @@
+#include "fl/aggregator.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/check.h"
+
+namespace fedda::fl {
+
+using tensor::ParameterStore;
+using tensor::Tensor;
+
+StreamingAggregator::StreamingAggregator(const ParameterStore* reference,
+                                         const ActivationState* state,
+                                         std::vector<int> selected_groups,
+                                         Config config)
+    : reference_(reference), state_(state), config_(config) {
+  FEDDA_CHECK(reference_ != nullptr);
+  const size_t num_groups = static_cast<size_t>(reference_->num_groups());
+  if (config_.fedda) {
+    FEDDA_CHECK(state_ != nullptr) << "FedDA aggregation needs masks";
+  } else {
+    group_selected_.assign(num_groups, 0);
+    for (int gid : selected_groups) {
+      group_selected_[static_cast<size_t>(gid)] = 1;
+    }
+  }
+  sums_.resize(num_groups);
+  total_weight_.assign(num_groups, 0.0);
+  if (config_.fedda && config_.scalar_granularity) {
+    scalar_sums_.resize(num_groups);
+    scalar_weights_.resize(num_groups);
+  }
+}
+
+std::vector<double> StreamingAggregator::Accumulate(
+    int client, double weight, const ParameterStore& update) {
+  FEDDA_CHECK(!finalized_);
+  std::vector<double> magnitudes;
+  if (config_.fedda) {
+    magnitudes.assign(static_cast<size_t>(state_->num_units()), 0.0);
+  }
+
+  for (int gid = 0; gid < reference_->num_groups(); ++gid) {
+    const size_t g = static_cast<size_t>(gid);
+    const Tensor& cv = update.value(gid);
+
+    if (!config_.fedda) {
+      // FedAvg: dense contribution to every group in the round's subset.
+      if (!group_selected_[g]) continue;
+      if (sums_[g].size() == 0) sums_[g] = Tensor(cv.rows(), cv.cols());
+      sums_[g].Axpy(static_cast<float>(weight), cv);
+      total_weight_[g] += weight;
+      continue;
+    }
+
+    const int64_t first_unit = state_->GroupFirstUnit(gid);
+    const bool maskable = first_unit >= 0;
+
+    if (!maskable || !config_.scalar_granularity) {
+      // Whole-group path: groups outside [N_d] take everyone; maskable
+      // groups at tensor granularity take only clients whose mask is on.
+      if (maskable && !state_->UnitActive(client, first_unit)) continue;
+      if (sums_[g].size() == 0) sums_[g] = Tensor(cv.rows(), cv.cols());
+      sums_[g].Axpy(static_cast<float>(weight), cv);
+      total_weight_[g] += weight;
+      if (maskable) {
+        // Tensor-granularity magnitude: mean |delta| over the group.
+        const Tensor delta = cv.Sub(reference_->value(gid));
+        magnitudes[static_cast<size_t>(first_unit)] = delta.AbsMean();
+      }
+      continue;
+    }
+
+    // Scalar granularity on a disentangled group: per-scalar contributors.
+    const int64_t size = cv.size();
+    const Tensor& old = reference_->value(gid);
+    std::vector<double>& sums = scalar_sums_[g];
+    std::vector<double>& weights = scalar_weights_[g];
+    for (int64_t s = 0; s < size; ++s) {
+      if (!state_->UnitActive(client, first_unit + s)) continue;
+      if (sums.empty()) {
+        sums.assign(static_cast<size_t>(size), 0.0);
+        weights.assign(static_cast<size_t>(size), 0.0);
+      }
+      const float value = cv.data()[s];
+      sums[static_cast<size_t>(s)] += weight * value;
+      weights[static_cast<size_t>(s)] += weight;
+      magnitudes[static_cast<size_t>(first_unit + s)] =
+          std::fabs(value - old.data()[s]);
+    }
+  }
+  ++num_consumed_;
+  return magnitudes;
+}
+
+void StreamingAggregator::Finalize(ParameterStore* global,
+                                   std::vector<uint8_t>* groups_updated) {
+  FEDDA_CHECK(!finalized_);
+  finalized_ = true;
+  groups_updated->assign(static_cast<size_t>(global->num_groups()), 0);
+
+  for (int gid = 0; gid < global->num_groups(); ++gid) {
+    const size_t g = static_cast<size_t>(gid);
+
+    if (config_.fedda && config_.scalar_granularity &&
+        state_->GroupFirstUnit(gid) >= 0) {
+      // Scalar-granularity group: write contributed scalars, keep the rest.
+      const std::vector<double>& sums = scalar_sums_[g];
+      if (sums.empty()) continue;  // no client contributed any scalar
+      const std::vector<double>& weights = scalar_weights_[g];
+      Tensor& target = global->value(gid);
+      const Tensor& old = reference_->value(gid);
+      for (int64_t s = 0; s < target.size(); ++s) {
+        if (weights[static_cast<size_t>(s)] > 0.0) {
+          target.data()[s] = static_cast<float>(
+              sums[static_cast<size_t>(s)] / weights[static_cast<size_t>(s)]);
+        } else {
+          target.data()[s] = old.data()[s];
+        }
+      }
+      (*groups_updated)[g] = 1;
+      continue;
+    }
+
+    // Whole-group path (FedAvg and FedDA alike): groups with no
+    // contributors keep their previous global value.
+    if (sums_[g].size() == 0 || total_weight_[g] <= 0.0) continue;
+    sums_[g].Scale(1.0f / static_cast<float>(total_weight_[g]));
+    global->value(gid) = std::move(sums_[g]);
+    (*groups_updated)[g] = 1;
+  }
+}
+
+}  // namespace fedda::fl

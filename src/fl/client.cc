@@ -1,5 +1,7 @@
 #include "fl/client.h"
 
+#include <utility>
+
 namespace fedda::fl {
 
 Client::Client(int id, const hgn::SimpleHgn* model,
@@ -24,8 +26,23 @@ Client::Client(int id, std::unique_ptr<hgn::TrainableTask> task,
 
 double Client::Update(const tensor::ParameterStore& global,
                       const hgn::TrainOptions& options, core::Rng* rng) {
-  store_.CopyValuesFrom(global);
+  if (store_.num_groups() == 0) {
+    // Re-materialize after TakeUpdate(): a full copy carries the same
+    // values CopyValuesFrom would have written, and ZeroGrads restores the
+    // constructor's gradient state.
+    store_ = global;
+    store_.ZeroGrads();
+  } else {
+    store_.CopyValuesFrom(global);
+  }
   return TrainLocalOnly(options, rng);
+}
+
+tensor::ParameterStore Client::TakeUpdate() {
+  FEDDA_CHECK_GT(store_.num_groups(), 0) << "update already taken";
+  tensor::ParameterStore update = std::move(store_);
+  store_ = tensor::ParameterStore();
+  return update;
 }
 
 double Client::TrainLocalOnly(const hgn::TrainOptions& options,

@@ -37,9 +37,23 @@ class Client {
 
   /// ClientUpdate of Algorithm 1: replaces local weights with the broadcast
   /// global weights, runs E local epochs of mini-batch training, and leaves
-  /// the result in params(). Returns the mean local training loss.
+  /// the result in params(). Returns the mean local training loss. A client
+  /// whose update was taken (TakeUpdate) is re-materialized from `global`
+  /// with identical values, so seeded results don't depend on whether the
+  /// server kept or consumed the previous round's update.
   double Update(const tensor::ParameterStore& global,
                 const hgn::TrainOptions& options, core::Rng* rng);
+
+  /// Hands the post-training weights to the server by move: the returned
+  /// store owns the update and the client holds no parameters until the
+  /// next broadcast rebuilds them. This is what keeps streaming aggregation
+  /// O(model) on the server — each update is freed right after it is folded
+  /// into the running sums instead of staying alive in clients_ until the
+  /// end of the round.
+  tensor::ParameterStore TakeUpdate();
+
+  /// False between TakeUpdate() and the next Update().
+  bool has_params() const { return store_.num_groups() > 0; }
 
   /// Continues training from the current local weights without a broadcast
   /// (used by the Local baseline).

@@ -1,0 +1,60 @@
+#include "fl/event_queue.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace fedda::fl {
+
+namespace {
+
+/// Max-heap comparator for std::*_heap (which keep the largest element at
+/// the front): `a` orders after `b` when `a` pops *later*, i.e. has a larger
+/// (time, seq) key. seq is unique per queue, so this is a total order.
+bool PopsLater(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time > b.time;
+  return a.seq > b.seq;
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kArrival:
+      return "arrival";
+    case EventKind::kDeparture:
+      return "departure";
+    case EventKind::kReactivation:
+      return "reactivation";
+  }
+  return "unknown";
+}
+
+uint64_t EventQueue::Push(double time, EventKind kind, int client,
+                          int round) {
+  Event event;
+  event.time = time;
+  event.kind = kind;
+  event.client = client;
+  event.round = round;
+  event.seq = next_seq_++;
+  heap_.push_back(event);
+  std::push_heap(heap_.begin(), heap_.end(), PopsLater);
+  return event.seq;
+}
+
+const Event& EventQueue::Peek() const {
+  FEDDA_CHECK(!heap_.empty()) << "Peek on empty EventQueue";
+  return heap_.front();
+}
+
+Event EventQueue::Pop() {
+  FEDDA_CHECK(!heap_.empty()) << "Pop on empty EventQueue";
+  std::pop_heap(heap_.begin(), heap_.end(), PopsLater);
+  const Event event = heap_.back();
+  heap_.pop_back();
+  now_ = event.time;
+  return event;
+}
+
+}  // namespace fedda::fl

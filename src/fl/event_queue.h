@@ -1,0 +1,82 @@
+#ifndef FEDDA_FL_EVENT_QUEUE_H_
+#define FEDDA_FL_EVENT_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fedda::fl {
+
+/// What happened to a client at a point in virtual time.
+enum class EventKind : uint8_t {
+  /// The client's trained update reaches the server and is eligible for
+  /// aggregation.
+  kArrival = 0,
+  /// The client drops out (crash/churn) before its update reaches the
+  /// server: the update is lost and the client's downlink cache must be
+  /// invalidated (it rejoins cold).
+  kDeparture = 1,
+  /// The server forced every client back into the active set because
+  /// dynamic deactivation emptied it outside a reactivation window.
+  kReactivation = 2,
+};
+
+const char* EventKindName(EventKind kind);
+
+/// One scheduled client event in virtual time.
+struct Event {
+  /// Virtual-time instant (seconds) derived from the network/compute model.
+  double time = 0.0;
+  EventKind kind = EventKind::kArrival;
+  int client = -1;
+  /// The round whose broadcast the client trained on (staleness base for
+  /// arrivals; the round the departure was scheduled in otherwise).
+  int round = 0;
+  /// Push order, assigned by the queue. Total tie-break: two events at the
+  /// same virtual time pop in push order, so the pop sequence is a pure
+  /// function of the push sequence — never of thread scheduling.
+  uint64_t seq = 0;
+};
+
+/// Deterministic virtual-time priority queue for client events.
+///
+/// The server's event loop pushes arrivals/departures with times computed
+/// from the timing model and pops them in (time, seq) order. All pushes and
+/// pops happen on the coordinating thread in deterministic order, so a
+/// seeded run's event sequence is bit-identical across worker_threads
+/// settings — the worker pool only parallelizes training *between* queue
+/// operations. The heap comparator is a strict weak order on (time, seq)
+/// with seq unique, so pop order is total and never falls back to
+/// std::push_heap's unspecified handling of equivalent keys.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Schedules an event; returns the assigned sequence number. `time` may
+  /// be in the past relative to already-popped events (the queue does not
+  /// police monotonicity; the caller's timing model does).
+  uint64_t Push(double time, EventKind kind, int client, int round);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Earliest event without removing it. Queue must be non-empty.
+  const Event& Peek() const;
+
+  /// Removes and returns the earliest event, advancing virtual_now() to its
+  /// time. Queue must be non-empty.
+  Event Pop();
+
+  /// Time of the most recently popped event (0 before any pop). The
+  /// server's "current" virtual time.
+  double virtual_now() const { return now_; }
+
+ private:
+  std::vector<Event> heap_;  // min-heap on (time, seq)
+  uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace fedda::fl
+
+#endif  // FEDDA_FL_EVENT_QUEUE_H_

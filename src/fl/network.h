@@ -3,27 +3,16 @@
 
 #include <vector>
 
+#include "fl/network_model.h"
 #include "fl/runner.h"
 
 namespace fedda::fl {
 
-/// Simulated communication/compute timing model for synchronous federated
-/// rounds. The simulator itself is instantaneous; this model converts a
-/// finished run's transmission accounting into estimated wall-clock time so
-/// "fewer transmitted parameters" can be read as "faster rounds"
-/// (time-to-accuracy), the way a deployment would experience FedDA.
-struct NetworkModel {
-  /// float32 payloads.
-  double bytes_per_scalar = 4.0;
-  /// Client uplink bandwidth (the FL bottleneck in practice).
-  double uplink_bytes_per_sec = 1.0e6;
-  /// Client downlink bandwidth (requested-group broadcast).
-  double downlink_bytes_per_sec = 4.0e6;
-  /// Fixed per-round overhead: handshakes, scheduling, aggregation.
-  double round_latency_sec = 0.1;
-  /// Local compute time per client per local epoch.
-  double compute_sec_per_epoch = 0.5;
-};
+// The simulator itself is instantaneous; the NetworkModel constants
+// (fl/network_model.h) convert a finished run's transmission accounting
+// into estimated wall-clock time so "fewer transmitted parameters" can be
+// read as "faster rounds" (time-to-accuracy), the way a deployment would
+// experience FedDA.
 
 /// Wall-clock estimate for one round and the running total.
 struct RoundTiming {

@@ -9,6 +9,8 @@
 
 #include "fl/activation.h"
 #include "fl/client.h"
+#include "fl/event_queue.h"
+#include "fl/network_model.h"
 #include "graph/hetero_graph.h"
 #include "hgn/link_prediction.h"
 
@@ -31,6 +33,40 @@ enum class FlAlgorithm {
 };
 
 const char* FlAlgorithmName(FlAlgorithm algorithm);
+
+/// Server aggregation discipline.
+enum class AggregationMode {
+  /// Classic synchronous rounds: every participant trains on the round's
+  /// broadcast and the round ends when the last one is aggregated. Seeded
+  /// histories are bit-identical to the pre-event-queue runner.
+  kSynchronous,
+  /// Buffered semi-async: client updates arrive at virtual times derived
+  /// from the NetworkModel, the server aggregates the first
+  /// `SemiAsyncOptions::buffer_size` arrivals per round, and updates that
+  /// straggle into later rounds are folded in with a staleness-discounted
+  /// weight instead of gating the round.
+  kSemiAsync,
+};
+
+/// Event-driven server options (AggregationMode::kSemiAsync).
+struct SemiAsyncOptions {
+  /// Aggregate as soon as this many updates have arrived (FedBuff-style K).
+  /// <= 0 drains every event in flight each round, which still reorders
+  /// arrivals by virtual time but never leaves an update buffered.
+  int buffer_size = 0;
+  /// Staleness discount exponent rho: an update trained on the broadcast of
+  /// round t0 and aggregated in round t contributes with weight multiplier
+  /// 1 / (1 + (t - t0))^rho. 0 disables the discount.
+  double staleness_exponent = 0.5;
+  /// Event-time source: per-client arrival times are
+  ///   latency + downlink_bytes/down_bw + E*compute*speed + uplink_bytes/up_bw
+  /// using this model's constants and the measured wire bytes.
+  NetworkModel network;
+  /// Per-client duration multipliers (straggler injection). Empty = all
+  /// 1.0; otherwise must have one entry per client. A value of 8.0 makes
+  /// that client's rounds 8x slower in virtual time.
+  std::vector<double> client_speed;
+};
 
 struct FlOptions {
   FlAlgorithm algorithm = FlAlgorithm::kFedAvg;
@@ -67,6 +103,12 @@ struct FlOptions {
   /// Results are bit-identical to sequential execution: every client's RNG
   /// stream is split from the round RNG before any update starts.
   int worker_threads = 0;
+  /// Server aggregation discipline; kSemiAsync turns on the event-driven
+  /// buffered server (see `semi_async`). All event-queue operations happen
+  /// on the coordinating thread, so semi-async runs stay bit-identical
+  /// across worker_threads settings too.
+  AggregationMode aggregation_mode = AggregationMode::kSynchronous;
+  SemiAsyncOptions semi_async;
   /// Weighted aggregation p_i proportional to each client's task-edge count
   /// (the classic FedAvg n_k/n weighting). The paper deliberately uses
   /// uniform p_i = 1/M because the server must not learn local data sizes
@@ -88,7 +130,13 @@ struct RoundRecord {
   int round = 0;
   double auc = 0.0;
   double mrr = 0.0;
+  /// Mean training loss over the updates aggregated this round. NaN when
+  /// nothing was aggregated (everyone failed, or a semi-async round drained
+  /// no arrivals): a loss of 0.0 would read as a perfect round in CSV /
+  /// time-to-accuracy output. CsvWriter renders NaN as an empty field.
   double mean_local_loss = 0.0;
+  /// Updates aggregated this round (sync: responding participants;
+  /// semi-async: arrivals consumed from the buffer).
   int participants = 0;
   /// Uplink transmitted this round (summed over participants).
   int64_t uplink_groups = 0;
@@ -116,6 +164,18 @@ struct RoundRecord {
   int64_t max_downlink_bytes = 0;
   /// Active-set size after this round's (de/re)activation.
   int active_after_round = 0;
+  /// Semi-async only (0 in synchronous mode): clients whose training
+  /// started this round, updates that departed (dropped) while in flight,
+  /// mean staleness in rounds over the aggregated updates, and the virtual
+  /// time at which this round's buffer filled.
+  int started = 0;
+  int departures = 0;
+  double mean_staleness = 0.0;
+  double virtual_time_sec = 0.0;
+  /// The server forced a full reactivation because dynamic deactivation
+  /// emptied the active set outside any reactivation window (previously a
+  /// process abort).
+  bool forced_reactivation = false;
 };
 
 struct FlRunResult {
@@ -134,6 +194,11 @@ struct FlRunResult {
   int64_t total_downlink_bytes = 0;
   int64_t total_downlink_scalars = 0;
   int64_t total_max_downlink_scalars = 0;
+  /// Semi-async only: every event the server processed, in pop order. The
+  /// sequence is a pure function of the seed (EventQueue ties break on push
+  /// order), so it doubles as the determinism witness across worker_threads
+  /// settings. Empty in synchronous mode.
+  std::vector<Event> events;
 };
 
 /// Orchestrates one federated training run (Algorithm 1): owns the clients,
@@ -169,20 +234,22 @@ class FederatedRunner {
   const FlOptions& options() const { return options_; }
 
  private:
+  struct RoundLoop;  // shared per-run state for the round drivers
+
   /// Participants for round `t` per algorithm.
   std::vector<int> SelectParticipants(ActivationState* state, core::Rng* rng);
 
-  /// Masked mean aggregation into `global_store`; returns per-participant
-  /// per-unit |delta| magnitudes for the subsequent mask update. Sets
-  /// `groups_updated[g]` to 1 for every group the aggregation wrote (the
-  /// downlink version tracking only re-ships groups whose global value
-  /// advanced).
-  std::vector<std::vector<double>> AggregateAndMeasure(
-      const std::vector<int>& participants,
-      const tensor::ParameterStore& broadcast,
-      const std::vector<int>& selected_groups, const ActivationState& state,
-      tensor::ParameterStore* global_store,
-      std::vector<uint8_t>* groups_updated) const;
+  /// Aggregation weight of one participant: uniform 1.0 (the paper's
+  /// privacy-preserving p_i = 1/M, renormalized per unit over its
+  /// contributors) or task-size proportional under weighted_aggregation.
+  double AggregationWeight(int client) const;
+
+  /// Post-aggregation FedDA activation update (masks, alpha deactivation,
+  /// Restart/Explore reactivation) for the clients whose updates were
+  /// aggregated this round.
+  void UpdateActivation(const std::vector<int>& aggregated,
+                        const std::vector<std::vector<double>>& magnitudes,
+                        ActivationState* state, core::Rng* rng);
 
   /// Scores `global_store`; uses evaluator_ when set, else the built-in
   /// link-prediction evaluation (which borrows `pool` for its forward pass).

@@ -1,5 +1,6 @@
 #include "fl/wire.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/binary_io.h"
@@ -338,6 +339,14 @@ void DownlinkVersionTracker::AdvanceGroups(
       ++group_version_[static_cast<size_t>(gid)];
     }
   }
+}
+
+void DownlinkVersionTracker::InvalidateClient(int client) {
+  FEDDA_CHECK_GE(client, 0);
+  FEDDA_CHECK_LT(client, num_clients_);
+  core::MutexLock lock(&mu_);
+  std::vector<int>& cached = sent_version_[static_cast<size_t>(client)];
+  std::fill(cached.begin(), cached.end(), -1);
 }
 
 int DownlinkVersionTracker::group_version(int gid) const {

@@ -172,6 +172,14 @@ class DownlinkVersionTracker {
   /// (indexed by group id, as filled by the aggregation step).
   void AdvanceGroups(const std::vector<uint8_t>& updated) FEDDA_EXCLUDES(mu_);
 
+  /// Forgets everything sent to `client` (every sent_version back to -1,
+  /// "never sent"). Wired to departure events: a client that drops out
+  /// loses its cached copy of the model, so when it rejoins, its first
+  /// request is charged as a full resync. Without this, a departed client's
+  /// stale sent_version survived forever and a rejoining client silently
+  /// trained on stale groups the server believed were current.
+  void InvalidateClient(int client) FEDDA_EXCLUDES(mu_);
+
   int num_clients() const { return num_clients_; }
   int num_groups() const { return num_groups_; }
 

@@ -1,5 +1,6 @@
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -39,6 +40,18 @@ TEST_F(CsvWriterTest, EscapesSpecialCharacters) {
   writer.WriteRow(std::vector<std::string>{"has\"quote"});
   writer.Close();
   EXPECT_EQ(ReadFile(path_), "name\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST_F(CsvWriterTest, NaNRendersAsEmptyFieldNotZero) {
+  // Regression: NaN marks "no measurement" (e.g. an all-failed federated
+  // round's mean loss). It must become an empty field — "nan" breaks
+  // numeric parsers and 0.0 reads as a real (perfect) value.
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path_, {"round", "loss", "auc"}).ok());
+  writer.WriteRow(std::vector<double>{
+      0.0, std::numeric_limits<double>::quiet_NaN(), 0.5});
+  writer.Close();
+  EXPECT_EQ(ReadFile(path_), "round,loss,auc\n0.000000,,0.500000\n");
 }
 
 TEST_F(CsvWriterTest, OpenFailsForBadPath) {

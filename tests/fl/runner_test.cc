@@ -204,6 +204,50 @@ TEST_F(RunnerTest, FedDaDownlinkIsCheaperThanFullBroadcast) {
   EXPECT_LT(explore.total_uplink_bytes, fedavg.total_uplink_bytes);
 }
 
+TEST_F(RunnerTest, AllFailedRoundReportsNaNLossNotZero) {
+  // Regression: a round where every participant fails used to leave
+  // mean_local_loss at 0.0, which reads as a *perfect* loss downstream
+  // (averages, convergence CSVs). It must be NaN.
+  FlOptions options = FastOptions(FlAlgorithm::kFedAvg, 2);
+  options.client_failure_prob = 1.0;  // everyone always fails
+  const FlRunResult result = RunFederated(*system_, options, 37);
+  ASSERT_EQ(result.history.size(), 2u);
+  for (const RoundRecord& record : result.history) {
+    EXPECT_EQ(record.participants, 0);
+    EXPECT_TRUE(std::isnan(record.mean_local_loss));
+    EXPECT_EQ(record.uplink_bytes, 0);
+    EXPECT_EQ(record.downlink_bytes, 0);
+  }
+}
+
+TEST_F(RunnerTest, EmptiedActiveSetForcesReactivationInsteadOfAborting) {
+  // Regression: alpha = 1.0 deactivates any client that lost a single
+  // unit — at scalar granularity a client survives only by beating the
+  // mean on *every* scalar, so round 0 deactivates everyone — and
+  // beta_r = 0.0 disables the Restart window (active < 0 never holds), so
+  // DeactivateLowOccupancy empties the active set. The old runner hit
+  // FEDDA_CHECK(!participants.empty()) and aborted the process; now the
+  // server forces a full reactivation and records it.
+  FlOptions options = FastOptions(FlAlgorithm::kFedDaRestart, 8);
+  options.beta_r = 0.0;
+  options.activation.alpha = 1.0;
+  options.activation.granularity = ActivationGranularity::kScalar;
+  const FlRunResult result = RunFederated(*system_, options, 43);
+  ASSERT_EQ(result.history.size(), 8u);
+  bool any_forced = false;
+  for (const RoundRecord& record : result.history) {
+    EXPECT_GE(record.participants, 1);
+    any_forced = any_forced || record.forced_reactivation;
+  }
+  EXPECT_TRUE(any_forced);
+  // Every forced reactivation is also visible as an event.
+  size_t reactivation_events = 0;
+  for (const Event& event : result.events) {
+    if (event.kind == EventKind::kReactivation) ++reactivation_events;
+  }
+  EXPECT_GT(reactivation_events, 0u);
+}
+
 TEST(FlAlgorithmNameTest, Names) {
   EXPECT_STREQ(FlAlgorithmName(FlAlgorithm::kFedAvg), "FedAvg");
   EXPECT_STREQ(FlAlgorithmName(FlAlgorithm::kFedDaRestart), "FedDA-Restart");

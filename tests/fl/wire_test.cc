@@ -364,6 +364,28 @@ TEST(DownlinkVersionTrackerTest, ReactivationResyncShipsEveryMissedUpdate) {
   EXPECT_TRUE(tracker.ClaimStale(0, {0, 1, 2}).empty());
 }
 
+TEST(DownlinkVersionTrackerTest, InvalidateClientChargesRejoinAsFullResync) {
+  // Regression: a departed client loses its cached copy of the model. The
+  // tracker used to keep the departed client's sent_version forever, so a
+  // rejoin was charged only for groups that advanced while it was away and
+  // the client silently trained on stale groups the server believed were
+  // current. InvalidateClient forgets everything sent to the client:
+  // depart -> rejoin must be charged as a full resync.
+  DownlinkVersionTracker tracker(2, 3);
+  (void)tracker.ClaimStale(0, {0, 1, 2});
+  (void)tracker.ClaimStale(1, {0, 1, 2});
+  tracker.AdvanceGroups({1, 0, 0});  // only group 0 advances
+
+  tracker.InvalidateClient(0);  // client 0 departs mid-flight
+  EXPECT_EQ(tracker.sent_version(0, 0), -1);
+  EXPECT_EQ(tracker.sent_version(0, 1), -1);
+  EXPECT_EQ(tracker.sent_version(0, 2), -1);
+  // Rejoin: everything re-ships, including groups that never advanced.
+  EXPECT_EQ(tracker.ClaimStale(0, {0, 1, 2}), (std::vector<int>{0, 1, 2}));
+  // Other clients are untouched: client 1 only owes the advanced group.
+  EXPECT_EQ(tracker.ClaimStale(1, {0, 1, 2}), (std::vector<int>{0}));
+}
+
 TEST(DownlinkVersionTrackerTest, UnrequestedGroupsStayStale) {
   // FedDA clients only request their activated groups; the rest must
   // remain stale for a later round, not be silently marked current.
