@@ -30,10 +30,12 @@ void CsvWriter::WriteRow(const std::vector<double>& values) {
   std::vector<std::string> fields;
   fields.reserve(values.size());
   for (double v : values) {
-    // NaN marks "no measurement" (e.g. a round where every client failed):
-    // an empty field keeps plotting/averaging tools from reading the
-    // sentinel as a real value the way a 0.0 would be.
-    fields.push_back(std::isnan(v) ? std::string() : FormatDouble(v, 6));
+    // Non-finite values mark "no measurement" (NaN: a round where every
+    // client failed) or a diverged metric (±Inf: an exploded loss): an
+    // empty field keeps plotting/averaging tools from reading either
+    // sentinel as a real value the way a 0.0 — or a literal "inf" a CSV
+    // parser chokes on — would.
+    fields.push_back(std::isfinite(v) ? FormatDouble(v, 6) : std::string());
   }
   WriteRow(fields);
 }

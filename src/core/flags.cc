@@ -1,5 +1,7 @@
 #include "core/flags.h"
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <iostream>
 
@@ -43,13 +45,22 @@ void FlagParser::AddString(const std::string& name, std::string* value,
 
 Status FlagParser::SetValue(Flag* flag, const std::string& text,
                             const std::string& name) {
+  // strtoll/strtod report overflow only through errno: on ERANGE they
+  // return a clamped value (LLONG_MAX, ±HUGE_VAL, or a denormal) that
+  // parses "successfully". Without the errno check, --rounds with 20
+  // digits silently became LLONG_MAX instead of an error.
   char* end = nullptr;
+  errno = 0;
   switch (flag->kind) {
     case Kind::kInt64: {
       int64_t v = std::strtoll(text.c_str(), &end, 10);
       if (end == text.c_str() || *end != '\0') {
         return Status::InvalidArgument("bad integer for --" + name + ": " +
                                        text);
+      }
+      if (errno == ERANGE) {
+        return Status::InvalidArgument("integer out of range for --" + name +
+                                       ": " + text);
       }
       *static_cast<int64_t*>(flag->target) = v;
       return Status::OK();
@@ -60,6 +71,12 @@ Status FlagParser::SetValue(Flag* flag, const std::string& text,
         return Status::InvalidArgument("bad integer for --" + name + ": " +
                                        text);
       }
+      // `long` is wider than `int` on LP64, so a value strtol accepts can
+      // still truncate in the cast; both failure modes are out-of-range.
+      if (errno == ERANGE || v < INT_MIN || v > INT_MAX) {
+        return Status::InvalidArgument("integer out of range for --" + name +
+                                       ": " + text);
+      }
       *static_cast<int*>(flag->target) = static_cast<int>(v);
       return Status::OK();
     }
@@ -68,6 +85,13 @@ Status FlagParser::SetValue(Flag* flag, const std::string& text,
       if (end == text.c_str() || *end != '\0') {
         return Status::InvalidArgument("bad double for --" + name + ": " +
                                        text);
+      }
+      if (errno == ERANGE) {
+        // Overflow (±HUGE_VAL) or underflow (a denormal or 0 standing in
+        // for a value the format cannot represent) — both silently distort
+        // the experiment the flag configures.
+        return Status::InvalidArgument("double out of range for --" + name +
+                                       ": " + text);
       }
       *static_cast<double*>(flag->target) = v;
       return Status::OK();

@@ -40,6 +40,16 @@ uint64_t Rng::Next() {
 
 Rng Rng::Split() { return Rng(Next()); }
 
+std::array<uint64_t, 4> Rng::SaveState() const {
+  return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+Rng Rng::FromState(const std::array<uint64_t, 4>& state) {
+  Rng rng;
+  for (size_t i = 0; i < state.size(); ++i) rng.state_[i] = state[i];
+  return rng;
+}
+
 double Rng::Uniform() {
   // 53 high-quality bits -> [0, 1).
   return static_cast<double>(Next() >> 11) * 0x1.0p-53;

@@ -1,6 +1,7 @@
 #ifndef FEDDA_CORE_RNG_H_
 #define FEDDA_CORE_RNG_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -27,6 +28,13 @@ class Rng {
   /// Derives an independent child generator. Deterministic: the n-th split
   /// of an Rng in a given state is always the same stream.
   Rng Split();
+
+  /// Raw xoshiro256** engine state, for moving a stream across a process
+  /// boundary (the socket transport ships a split child's state to the
+  /// remote client so multi-process runs draw the same randomness as
+  /// in-process ones). FromState(SaveState()) continues the stream exactly.
+  std::array<uint64_t, 4> SaveState() const;
+  static Rng FromState(const std::array<uint64_t, 4>& state);
 
   /// Uniform in [0, 1).
   double Uniform();

@@ -207,6 +207,18 @@ void ActivationState::ReactivateClient(int client) {
   std::fill(mask.begin(), mask.end(), uint8_t{1});
 }
 
+const std::vector<uint8_t>& ActivationState::ClientMask(int client) const {
+  FEDDA_CHECK(client >= 0 && client < num_clients_);
+  return masks_[static_cast<size_t>(client)];
+}
+
+void ActivationState::SetClientMask(int client,
+                                    const std::vector<uint8_t>& mask) {
+  FEDDA_CHECK(client >= 0 && client < num_clients_);
+  FEDDA_CHECK_EQ(mask.size(), static_cast<size_t>(num_units_));
+  masks_[static_cast<size_t>(client)] = mask;
+}
+
 int ActivationState::UnitGroup(int64_t unit) const {
   FEDDA_CHECK(unit >= 0 && unit < num_units_);
   return unit_group_[static_cast<size_t>(unit)];

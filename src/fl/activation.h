@@ -109,6 +109,15 @@ class ActivationState {
 
   const ActivationOptions& options() const { return options_; }
 
+  /// Raw per-unit request mask of `client` (num_units() entries of 0/1).
+  /// Shipped to remote client processes so both ends of a transport build
+  /// byte-identical uplink payloads from the same mask.
+  const std::vector<uint8_t>& ClientMask(int client) const;
+  /// Installs a mask received over a transport. `mask` must have
+  /// num_units() entries; the active-client set is untouched (a remote
+  /// process only mirrors its own row, the server owns D_A).
+  void SetClientMask(int client, const std::vector<uint8_t>& mask);
+
   /// Persists the dynamic state (active set + masks, bit-packed via the
   /// fl/wire.h codec) plus the deactivation options so a server can resume
   /// a FedDA run after a crash: pair with a ParameterStore checkpoint.

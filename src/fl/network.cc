@@ -12,6 +12,13 @@ std::vector<RoundTiming> SimulateTiming(const FlRunResult& result,
   FEDDA_CHECK_GT(local_epochs, 0);
   FEDDA_CHECK_GT(model.uplink_bytes_per_sec, 0.0);
   FEDDA_CHECK_GT(model.downlink_bytes_per_sec, 0.0);
+  // Semi-async runs measure their network time while they run (the event
+  // queue charges these same NetworkModel constants to produce
+  // RoundRecord::virtual_time_sec); re-estimating it here would count
+  // every transfer twice. Read the measured virtual_time_sec instead.
+  FEDDA_CHECK(result.aggregation_mode != AggregationMode::kSemiAsync)
+      << "SimulateTiming on a semi-async run double-counts network time: "
+         "the history already records measured virtual_time_sec per round";
 
   std::vector<RoundTiming> timings;
   timings.reserve(result.history.size());

@@ -34,6 +34,11 @@ struct RoundTiming {
 /// mean) of uplink. Rounds with no participants cost only the latency.
 /// `model_scalars` is the full model size N in scalars (used only by the
 /// legacy path); `local_epochs` the E used in the run.
+///
+/// Synchronous histories only: a semi-async run already measures its
+/// network time in virtual_time_sec with these same constants, so
+/// re-estimating here would double-count every transfer — passing a
+/// kSemiAsync result is a CHECK failure.
 std::vector<RoundTiming> SimulateTiming(const FlRunResult& result,
                                         const NetworkModel& model,
                                         int64_t model_scalars,

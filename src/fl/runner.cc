@@ -8,6 +8,7 @@
 #include "core/logging.h"
 #include "core/thread_pool.h"
 #include "fl/aggregator.h"
+#include "fl/transport.h"
 #include "fl/wire.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
@@ -38,6 +39,12 @@ void ValidateOptions(const FlOptions& options, size_t num_clients) {
               options.client_fraction <= 1.0);
   FEDDA_CHECK(options.param_fraction > 0.0 &&
               options.param_fraction <= 1.0);
+  if (options.transport != nullptr) {
+    // A transport round is the synchronous protocol over a real wire; the
+    // semi-async server's virtual-time schedule has no remote counterpart.
+    FEDDA_CHECK(options.aggregation_mode == AggregationMode::kSynchronous)
+        << "transport execution supports synchronous aggregation only";
+  }
   if (options.aggregation_mode == AggregationMode::kSemiAsync) {
     const SemiAsyncOptions& sa = options.semi_async;
     // Buffered aggregation mixes updates that trained on different rounds'
@@ -179,6 +186,15 @@ struct FederatedRunner::RoundLoop {
   core::ThreadPool* pool_ptr;
   hgn::TrainOptions local_options;
   DownlinkVersionTracker downlink;
+  /// Remote execution (null in-process). `mirror` tracks what each remote
+  /// process's copy of the global store already holds, over *all* groups —
+  /// unlike `downlink`, which bills only the masked requests. In-process
+  /// clients read the global directly, so training on the full current
+  /// model is free; a remote mirror has to be kept exact explicitly, and
+  /// this tracker keeps those resyncs incremental (only groups aggregation
+  /// rewrote since the client's last sync travel again).
+  Transport* transport;
+  DownlinkVersionTracker mirror;
 
   obs::Tracer* tracer;
   obs::Counter* ctr_rounds = nullptr;
@@ -221,6 +237,8 @@ struct FederatedRunner::RoundLoop {
         pool_ptr(r->options_.worker_threads > 0 ? &pool : nullptr),
         local_options(r->options_.local),
         downlink(r->num_clients(), num_groups),
+        transport(r->options_.transport),
+        mirror(r->num_clients(), num_groups),
         tracer(r->options_.tracer),
         in_flight(static_cast<size_t>(r->num_clients()), 0),
         pending(static_cast<size_t>(r->num_clients())) {
@@ -317,6 +335,68 @@ struct FederatedRunner::RoundLoop {
     return losses;
   }
 
+  /// Transport mode's counterpart of TrainClients: ships each participant
+  /// its round task (split RNG state in TrainClients' order, the masks in
+  /// force, a mirror resync), collects the replies, and prunes participants
+  /// whose process departed mid-round (recording the departure and
+  /// invalidating both downlink trackers). Returns the surviving
+  /// participants' losses; their uplink payloads land in `uplinks`, aligned
+  /// with the pruned `participants`.
+  std::vector<double> ExecuteRemoteRound(
+      std::vector<int>* participants,
+      const std::vector<int>& selected_groups, int round,
+      RoundRecord* record, std::vector<WirePayload>* uplinks) {
+    std::vector<int> all_groups(static_cast<size_t>(num_groups));
+    for (int gid = 0; gid < num_groups; ++gid) {
+      all_groups[static_cast<size_t>(gid)] = gid;
+    }
+    std::vector<TransportTask> tasks;
+    tasks.reserve(participants->size());
+    for (int c : *participants) {
+      TransportTask task;
+      task.client = c;
+      task.round = round;
+      // One Split() per participant, in participant order — the exact draw
+      // sequence TrainClients performs — so remote streams are bit-equal to
+      // the in-process client streams.
+      task.rng_state = rng->Split().SaveState();
+      task.fedda = is_fedda;
+      if (is_fedda) {
+        task.mask_bits = state.ClientMask(c);
+      } else {
+        task.selected_groups = selected_groups;
+      }
+      task.sync = BuildDownlinkPayload(mirror.ClaimStale(c, all_groups), c,
+                                       round, *global);
+      tasks.push_back(std::move(task));
+    }
+    std::vector<TransportReply> replies = transport->ExecuteRound(tasks);
+    FEDDA_CHECK_EQ(replies.size(), tasks.size());
+    std::vector<int> delivered;
+    std::vector<double> losses;
+    for (size_t p = 0; p < replies.size(); ++p) {
+      const int c = (*participants)[p];
+      TransportReply& reply = replies[p];
+      if (!reply.ok) {
+        // The process died (or went silent past the read deadline) after
+        // receiving this round's broadcast: its update is lost and its
+        // cached copy of the model is gone with it, so a rejoin would be
+        // charged as a full resync — same semantics as a semi-async
+        // departure event.
+        ++record->departures;
+        if (ctr_departures != nullptr) ctr_departures->Increment();
+        downlink.InvalidateClient(c);
+        mirror.InvalidateClient(c);
+        continue;
+      }
+      delivered.push_back(c);
+      losses.push_back(reply.loss);
+      uplinks->push_back(std::move(reply.uplink));
+    }
+    *participants = std::move(delivered);
+    return losses;
+  }
+
   /// Dynamic deactivation emptied the active set outside any reactivation
   /// window (e.g. beta_r = 0): force a full restart instead of aborting the
   /// process, record it, and refill `participants`.
@@ -386,6 +466,16 @@ void FederatedRunner::RoundLoop::RunSyncRound(int round) {
     }
     participants = std::move(responding);
   }
+  if (transport != nullptr) {
+    // Clients whose process already departed cannot be tasked. They are
+    // filtered only *after* every selection and failure draw above, so a
+    // departure-free remote run replays the exact in-process RNG stream.
+    std::vector<int> alive;
+    for (int c : participants) {
+      if (transport->ClientAlive(c)) alive.push_back(c);
+    }
+    participants = std::move(alive);
+  }
   if (participants.empty()) {
     // Everyone failed: no training, no aggregation, no uplink. The mean
     // loss is NaN, not 0: zero would read as a perfect round downstream.
@@ -424,8 +514,21 @@ void FederatedRunner::RoundLoop::RunSyncRound(int round) {
   // every write to Finalize(), so no global value changes while clients
   // read it and the old per-round O(model) deep copy is gone.
   const ParameterStore& broadcast = *global;
-  const std::vector<double> losses = TrainClients(participants, broadcast,
-                                                  round);
+  std::vector<WirePayload> remote_uplinks;
+  const std::vector<double> losses =
+      transport == nullptr
+          ? TrainClients(participants, broadcast, round)
+          : ExecuteRemoteRound(&participants, selected_groups, round,
+                               &record, &remote_uplinks);
+  if (participants.empty()) {
+    // Every tasked participant departed mid-round: nothing arrived, so
+    // nothing aggregates — but the recorded departures stand.
+    record.mean_local_loss = std::numeric_limits<double>::quiet_NaN();
+    record.active_after_round = state.num_active_clients();
+    Evaluate(round, &record);
+    FinishRound(std::move(record));
+    return;
+  }
   double loss_sum = 0.0;
   for (double loss : losses) loss_sum += loss;
 
@@ -438,7 +541,8 @@ void FederatedRunner::RoundLoop::RunSyncRound(int round) {
   // bit-packed mask overhead.
   {
     obs::ScopedSpan wire_span(tracer, "wire-encode", "round", round);
-    for (int c : participants) {
+    for (size_t p = 0; p < participants.size(); ++p) {
+      const int c = participants[p];
       const int64_t scalars =
           is_fedda ? state.TransmittedScalars(c) : selected_scalars;
       record.uplink_groups += is_fedda
@@ -449,11 +553,18 @@ void FederatedRunner::RoundLoop::RunSyncRound(int round) {
       record.max_uplink_scalars =
           std::max(record.max_uplink_scalars, scalars);
 
-      const WirePayload uplink =
-          is_fedda
-              ? BuildUplinkPayload(state, c, round, client(c)->params())
-              : BuildDenseUplinkPayload(selected_groups, c, round,
-                                        client(c)->params());
+      // Transport mode measures the payload that actually crossed the wire;
+      // in-process rounds build it here. Both are the same bytes — the
+      // remote side runs the same builders on the same masks and weights.
+      WirePayload built;
+      if (transport == nullptr) {
+        built = is_fedda
+                    ? BuildUplinkPayload(state, c, round, client(c)->params())
+                    : BuildDenseUplinkPayload(selected_groups, c, round,
+                                              client(c)->params());
+      }
+      const WirePayload& uplink =
+          transport != nullptr ? remote_uplinks[p] : built;
       const int64_t uplink_bytes = uplink.EncodedBytes();
       record.uplink_bytes += uplink_bytes;
       record.max_uplink_bytes =
@@ -479,13 +590,29 @@ void FederatedRunner::RoundLoop::RunSyncRound(int round) {
     config.scalar_granularity = scalar_gran;
     StreamingAggregator aggregator(global, &state, selected_groups, config);
     magnitudes.reserve(participants.size());
-    for (int c : participants) {
-      const ParameterStore update = client(c)->TakeUpdate();
+    for (size_t p = 0; p < participants.size(); ++p) {
+      const int c = participants[p];
+      ParameterStore update;
+      if (transport != nullptr) {
+        // Reconstruct the remote update from its wire payload onto a copy
+        // of the broadcast. Scalars the payload masks off keep broadcast
+        // values, which is enough for bit-identity: Accumulate never reads
+        // a scalar the client's mask excludes. One reconstruction lives at
+        // a time, preserving the streaming server's O(model) peak memory.
+        update = *global;
+        const core::Status applied = remote_uplinks[p].ApplyTo(&update);
+        FEDDA_CHECK(applied.ok())
+            << "uplink payload does not match the model layout (client "
+            << c << "): " << applied.ToString();
+      } else {
+        update = client(c)->TakeUpdate();
+      }
       magnitudes.push_back(
           aggregator.Accumulate(c, runner->AggregationWeight(c), update));
     }
     aggregator.Finalize(global, &groups_updated);
     downlink.AdvanceGroups(groups_updated);
+    if (transport != nullptr) mirror.AdvanceGroups(groups_updated);
   }
 
   if (is_fedda) {
@@ -685,6 +812,7 @@ FlRunResult FederatedRunner::Run(ParameterStore* global_store,
   // cannot perturb seeded results.
   obs::ScopedSpan run_span(options_.tracer, "run");
   RoundLoop loop(this, global_store, rng);
+  loop.result.aggregation_mode = options_.aggregation_mode;
   const bool semi_async =
       options_.aggregation_mode == AggregationMode::kSemiAsync;
   for (int round = 0; round < options_.rounds; ++round) {

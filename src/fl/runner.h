@@ -21,6 +21,8 @@ class Tracer;
 
 namespace fedda::fl {
 
+class Transport;
+
 /// Federated algorithms reproduced from the paper.
 enum class FlAlgorithm {
   /// Vanilla FedAvg, optionally with the preliminary study's random client
@@ -115,6 +117,16 @@ struct FlOptions {
   /// (Sec. 5.1.2); this option exists to quantify what that privacy choice
   /// costs.
   bool weighted_aggregation = false;
+  /// Optional transport (fl/transport.h) executing each participant's round
+  /// in a remote process; null (the default) trains in-process. Synchronous
+  /// mode only. The contract is bit-identity: with live peers, a seeded
+  /// remote run's history equals the in-process history, because the runner
+  /// ships each participant its split RNG state, its masks, and a mirror
+  /// resync of the global store, and aggregates the returned wire payloads
+  /// in participant order. A peer that dies mid-round is recorded as a
+  /// departure (RoundRecord::departures) and its downlink caches are
+  /// invalidated, exactly like a semi-async departure event.
+  Transport* transport = nullptr;
   /// Optional observability sinks (both may be null; null disables with no
   /// measurable overhead). The tracer receives round/phase/client spans and
   /// is forwarded into TrainOptions/EvalOptions so the tensor kernels tag
@@ -165,10 +177,12 @@ struct RoundRecord {
   /// Active-set size after this round's (de/re)activation.
   int active_after_round = 0;
   /// Semi-async only (0 in synchronous mode): clients whose training
-  /// started this round, updates that departed (dropped) while in flight,
-  /// mean staleness in rounds over the aggregated updates, and the virtual
-  /// time at which this round's buffer filled.
+  /// started this round, mean staleness in rounds over the aggregated
+  /// updates, and the virtual time at which this round's buffer filled.
   int started = 0;
+  /// Updates lost to a client dropping out while in flight. Semi-async
+  /// departure events, and — under a transport — synchronous participants
+  /// whose process died mid-round (EOF/timeout before their reply).
   int departures = 0;
   double mean_staleness = 0.0;
   double virtual_time_sec = 0.0;
@@ -179,6 +193,14 @@ struct RoundRecord {
 };
 
 struct FlRunResult {
+  /// The discipline the run used, copied from FlOptions by Run(). Semi-async
+  /// histories already carry *measured* virtual network time per round
+  /// (RoundRecord::virtual_time_sec, built from the same NetworkModel
+  /// constants); feeding them to the post-hoc SimulateTiming estimator
+  /// would charge every transfer twice, so SimulateTiming rejects them by
+  /// checking this field (the event list cannot serve as the discriminator:
+  /// synchronous runs also record kReactivation events).
+  AggregationMode aggregation_mode = AggregationMode::kSynchronous;
   std::vector<RoundRecord> history;
   double final_auc = 0.0;
   double final_mrr = 0.0;

@@ -1,0 +1,97 @@
+#include "net/framing.h"
+
+#include <cstring>
+
+#include "core/binary_io.h"
+
+namespace fedda::net {
+
+namespace {
+
+using core::Status;
+
+/// Validates a 12-byte header; on success fills type and body length.
+Status ParseHeader(const uint8_t* header, FrameType* type, uint32_t* len) {
+  core::ByteReader reader(header, kFrameHeaderBytes);
+  const uint32_t magic = reader.ReadU32();
+  const uint32_t raw_type = reader.ReadU32();
+  const uint32_t body_len = reader.ReadU32();
+  if (magic != kFrameMagic) {
+    return Status::IoError("bad frame magic");
+  }
+  if (raw_type < static_cast<uint32_t>(FrameType::kHello) ||
+      raw_type > static_cast<uint32_t>(FrameType::kError)) {
+    return Status::IoError("unknown frame type " + std::to_string(raw_type));
+  }
+  if (body_len > kMaxFrameBody) {
+    return Status::IoError("frame body too large: " +
+                           std::to_string(body_len));
+  }
+  *type = static_cast<FrameType>(raw_type);
+  *len = body_len;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 const std::vector<uint8_t>& body) {
+  core::ByteWriter writer;
+  writer.WriteU32(kFrameMagic);
+  writer.WriteU32(static_cast<uint32_t>(type));
+  writer.WriteU32(static_cast<uint32_t>(body.size()));
+  writer.WriteBytes(body);
+  return writer.Release();
+}
+
+Status WriteFrame(Socket* socket, FrameType type,
+                  const std::vector<uint8_t>& body) {
+  if (body.size() > kMaxFrameBody) {
+    return Status::InvalidArgument("frame body too large to send: " +
+                                   std::to_string(body.size()));
+  }
+  const std::vector<uint8_t> encoded = EncodeFrame(type, body);
+  return socket->WriteAll(encoded.data(), encoded.size());
+}
+
+Status ReadFrame(Socket* socket, double timeout_sec, Frame* frame) {
+  uint8_t header[kFrameHeaderBytes];
+  FEDDA_RETURN_IF_ERROR(
+      socket->ReadAll(header, sizeof(header), timeout_sec));
+  FrameType type = FrameType::kError;
+  uint32_t body_len = 0;
+  FEDDA_RETURN_IF_ERROR(ParseHeader(header, &type, &body_len));
+  std::vector<uint8_t> body(body_len);
+  if (body_len > 0) {
+    FEDDA_RETURN_IF_ERROR(
+        socket->ReadAll(body.data(), body.size(), timeout_sec));
+  }
+  frame->type = type;
+  frame->body = std::move(body);
+  return Status::OK();
+}
+
+void FrameAssembler::Feed(const uint8_t* data, size_t n) {
+  if (!status_.ok() || n == 0) return;
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+Status FrameAssembler::Next(Frame* frame, bool* ready) {
+  *ready = false;
+  if (!status_.ok()) return status_;
+  if (buffer_.size() < kFrameHeaderBytes) return Status::OK();
+  FrameType type = FrameType::kError;
+  uint32_t body_len = 0;
+  status_ = ParseHeader(buffer_.data(), &type, &body_len);
+  if (!status_.ok()) return status_;
+  const size_t total = kFrameHeaderBytes + body_len;
+  if (buffer_.size() < total) return Status::OK();
+  frame->type = type;
+  frame->body.assign(buffer_.begin() + kFrameHeaderBytes,
+                     buffer_.begin() + static_cast<ptrdiff_t>(total));
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<ptrdiff_t>(total));
+  *ready = true;
+  return Status::OK();
+}
+
+}  // namespace fedda::net

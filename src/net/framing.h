@@ -1,0 +1,98 @@
+#ifndef FEDDA_NET_FRAMING_H_
+#define FEDDA_NET_FRAMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "net/socket.h"
+
+namespace fedda::net {
+
+/// Length-prefixed frames over a stream socket (DESIGN.md §11).
+///
+/// Every message is one frame:
+///
+///   offset  size  field
+///   0       4     magic 0xF3DDAF7A (u32 LE)
+///   4       4     type  (FrameType as u32 LE)
+///   8       4     body length in bytes (u32 LE, <= kMaxFrameBody)
+///   12      len   body (fl/wire.h payloads or net/transport.h codecs)
+///
+/// The reader validates magic, type, and length *before* allocating or
+/// reading the body, so a corrupt or hostile length prefix cannot allocate
+/// unbounded memory, and every truncation point — any prefix of a valid
+/// frame followed by EOF or silence — surfaces as a clean IoError, never a
+/// hang or a crash (framing_test drives all of them).
+
+/// Message types of the round protocol.
+enum class FrameType : uint32_t {
+  /// Client -> server, once after connect: client id + config fingerprint.
+  kHello = 1,
+  /// Server -> client: handshake accepted.
+  kHelloAck = 2,
+  /// Server -> client: one round's task (net/transport.h RoundStart codec).
+  kRoundStart = 3,
+  /// Client -> server: the round's result (RoundReply codec).
+  kRoundReply = 4,
+  /// Server -> client: run over, exit cleanly. Empty body.
+  kShutdown = 5,
+  /// Either direction: the peer rejected the last message (UTF-8 reason in
+  /// the body). The connection is unusable afterwards.
+  kError = 6,
+};
+
+inline constexpr uint32_t kFrameMagic = 0xF3DDAF7Au;
+inline constexpr uint32_t kFrameHeaderBytes = 12;
+/// Ceiling on one frame's body. Generous next to real payloads (a full
+/// dense model broadcast) but small enough that a corrupt length cannot
+/// take down either end.
+inline constexpr uint32_t kMaxFrameBody = 256u * 1024u * 1024u;
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<uint8_t> body;
+};
+
+/// Serializes a frame (header + body) into one buffer.
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 const std::vector<uint8_t>& body);
+
+/// Writes one frame; a single WriteAll so the kernel sees header and body
+/// together.
+[[nodiscard]] core::Status WriteFrame(Socket* socket, FrameType type,
+                                      const std::vector<uint8_t>& body);
+
+/// Reads one complete frame within `timeout_sec` (one deadline spanning
+/// header and body). Truncation, timeout, bad magic, unknown type, and
+/// oversized length all return IoError with the socket left in an
+/// unusable position (the caller should close it).
+[[nodiscard]] core::Status ReadFrame(Socket* socket, double timeout_sec,
+                                     Frame* frame);
+
+/// Incremental frame parser for poll-driven servers: bytes go in as they
+/// arrive on a connection, complete frames come out. Validation is
+/// identical to ReadFrame's — a corrupt header poisons the assembler (every
+/// later Next returns the same error), because nothing downstream of a
+/// framing error on a stream is trustworthy.
+class FrameAssembler {
+ public:
+  /// Appends raw received bytes.
+  void Feed(const uint8_t* data, size_t n);
+
+  /// If a complete valid frame is buffered, consumes it into *frame and
+  /// sets *ready = true; otherwise sets *ready = false. Returns IoError on
+  /// a corrupt header (bad magic/type/length).
+  [[nodiscard]] core::Status Next(Frame* frame, bool* ready);
+
+  /// Bytes buffered but not yet consumed (diagnostics).
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  core::Status status_;
+};
+
+}  // namespace fedda::net
+
+#endif  // FEDDA_NET_FRAMING_H_

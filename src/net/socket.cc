@@ -1,0 +1,343 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "core/check.h"
+
+namespace fedda::net {
+
+namespace {
+
+using core::Status;
+
+std::string ErrnoText(const char* op) {
+  return std::string(op) + " failed: " + std::strerror(errno);
+}
+
+void SleepSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(seconds);
+  ts.tv_nsec =
+      static_cast<long>((seconds - static_cast<double>(ts.tv_sec)) * 1e9);
+  // EINTR cuts the sleep short; the retry loop around Connect absorbs it.
+  nanosleep(&ts, nullptr);
+}
+
+/// Waits until `fd` is readable or `deadline` (monotonic seconds) passes.
+/// OK means readable; IoError covers both timeout and poll failure.
+Status PollReadable(int fd, double deadline) {
+  for (;;) {
+    const double remaining = deadline - MonotonicSeconds();
+    if (remaining <= 0.0) {
+      return Status::IoError("read timed out");
+    }
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int timeout_ms =
+        static_cast<int>(remaining * 1000.0) + 1;  // round up, never 0
+    const int ready = poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoText("poll"));
+    }
+    if (ready == 0) {
+      return Status::IoError("read timed out");
+    }
+    // POLLHUP/POLLERR fall through to the read, which reports EOF or the
+    // socket error precisely.
+    return Status::OK();
+  }
+}
+
+/// Parsed form of an address string.
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string path;       // unix
+  std::string host;       // tcp
+  uint16_t port = 0;      // tcp
+};
+
+Status ParseAddress(const std::string& address, ParsedAddress* out) {
+  constexpr char kUnixPrefix[] = "unix:";
+  constexpr char kTcpPrefix[] = "tcp:";
+  if (address.rfind(kUnixPrefix, 0) == 0) {
+    out->is_unix = true;
+    out->path = address.substr(sizeof(kUnixPrefix) - 1);
+    if (out->path.empty()) {
+      return Status::InvalidArgument("empty unix socket path: " + address);
+    }
+    sockaddr_un probe;
+    if (out->path.size() >= sizeof(probe.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     out->path);
+    }
+    return Status::OK();
+  }
+  if (address.rfind(kTcpPrefix, 0) == 0) {
+    out->is_unix = false;
+    const std::string rest = address.substr(sizeof(kTcpPrefix) - 1);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      return Status::InvalidArgument("expected tcp:<ipv4>:<port>, got " +
+                                     address);
+    }
+    out->host = rest.substr(0, colon);
+    long port = 0;
+    for (size_t i = colon + 1; i < rest.size(); ++i) {
+      const char c = rest[i];
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("bad port in " + address);
+      }
+      port = port * 10 + (c - '0');
+      if (port > 65535) {
+        return Status::InvalidArgument("port out of range in " + address);
+      }
+    }
+    out->port = static_cast<uint16_t>(port);
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "address must start with unix: or tcp:, got " + address);
+}
+
+Status FillSockaddr(const ParsedAddress& parsed, sockaddr_storage* storage,
+                    socklen_t* len) {
+  std::memset(storage, 0, sizeof(*storage));
+  if (parsed.is_unix) {
+    auto* sun = reinterpret_cast<sockaddr_un*>(storage);
+    sun->sun_family = AF_UNIX;
+    std::memcpy(sun->sun_path, parsed.path.c_str(), parsed.path.size() + 1);
+    *len = static_cast<socklen_t>(sizeof(sockaddr_un));
+    return Status::OK();
+  }
+  auto* sin = reinterpret_cast<sockaddr_in*>(storage);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(parsed.port);
+  if (inet_pton(AF_INET, parsed.host.c_str(), &sin->sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " +
+                                   parsed.host);
+  }
+  *len = static_cast<socklen_t>(sizeof(sockaddr_in));
+  return Status::OK();
+}
+
+}  // namespace
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    // Failure here is unreportable (and close must not be retried on
+    // EINTR: the fd is gone either way on Linux).
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Socket::WriteAll(const void* data, size_t len) {
+  if (fd_ < 0) return Status::FailedPrecondition("write on closed socket");
+  const auto* cursor = static_cast<const uint8_t*>(data);
+  size_t remaining = len;
+  while (remaining > 0) {
+    const ssize_t n = send(fd_, cursor, remaining, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoText("send"));
+    }
+    // send() never legitimately returns 0 for blocking stream sockets with
+    // remaining > 0, so every iteration makes progress.
+    cursor += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::ReadAll(void* data, size_t len, double timeout_sec) {
+  if (fd_ < 0) return Status::FailedPrecondition("read on closed socket");
+  const double deadline = MonotonicSeconds() + timeout_sec;
+  auto* cursor = static_cast<uint8_t*>(data);
+  size_t remaining = len;
+  while (remaining > 0) {
+    FEDDA_RETURN_IF_ERROR(PollReadable(fd_, deadline));
+    const ssize_t n = recv(fd_, cursor, remaining, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoText("recv"));
+    }
+    if (n == 0) {
+      return Status::IoError("peer closed the connection mid-read");
+    }
+    cursor += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::ReadSome(void* data, size_t capacity, size_t* n) {
+  if (fd_ < 0) return Status::FailedPrecondition("read on closed socket");
+  for (;;) {
+    const ssize_t got = recv(fd_, data, capacity, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoText("recv"));
+    }
+    *n = static_cast<size_t>(got);
+    return Status::OK();
+  }
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), address_(std::move(other.address_)),
+      uds_path_(std::move(other.uds_path_)) {
+  other.fd_ = -1;
+  other.uds_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    address_ = std::move(other.address_);
+    uds_path_ = std::move(other.uds_path_);
+    other.fd_ = -1;
+    other.uds_path_.clear();
+  }
+  return *this;
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  if (!uds_path_.empty()) {
+    unlink(uds_path_.c_str());
+    uds_path_.clear();
+  }
+}
+
+Status Listener::Listen(const std::string& address, Listener* out) {
+  ParsedAddress parsed;
+  FEDDA_RETURN_IF_ERROR(ParseAddress(address, &parsed));
+  const int fd =
+      socket(parsed.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(ErrnoText("socket"));
+  Socket guard(fd);  // closes on every early return below
+
+  if (parsed.is_unix) {
+    // A socket file left behind by a crashed server would make bind fail
+    // with EADDRINUSE forever; live servers are distinguished by the
+    // connect-time refusal, not the file's existence.
+    unlink(parsed.path.c_str());
+  } else {
+    const int enable = 1;
+    if (setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable,
+                   sizeof(enable)) != 0) {
+      return Status::IoError(ErrnoText("setsockopt(SO_REUSEADDR)"));
+    }
+  }
+
+  sockaddr_storage storage;
+  socklen_t len = 0;
+  FEDDA_RETURN_IF_ERROR(FillSockaddr(parsed, &storage, &len));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&storage), len) != 0) {
+    return Status::IoError(ErrnoText("bind"));
+  }
+  if (listen(fd, SOMAXCONN) != 0) {
+    return Status::IoError(ErrnoText("listen"));
+  }
+
+  std::string resolved = address;
+  if (!parsed.is_unix && parsed.port == 0) {
+    sockaddr_in bound;
+    socklen_t bound_len = sizeof(bound);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+        0) {
+      return Status::IoError(ErrnoText("getsockname"));
+    }
+    resolved =
+        "tcp:" + parsed.host + ":" + std::to_string(ntohs(bound.sin_port));
+  }
+
+  out->Close();
+  out->fd_ = guard.ReleaseFd();
+  out->address_ = resolved;
+  out->uds_path_ = parsed.is_unix ? parsed.path : std::string();
+  return Status::OK();
+}
+
+Status Listener::Accept(double timeout_sec, Socket* out) {
+  if (fd_ < 0) return Status::FailedPrecondition("accept on closed listener");
+  const double deadline = MonotonicSeconds() + timeout_sec;
+  FEDDA_RETURN_IF_ERROR(PollReadable(fd_, deadline));
+  for (;;) {
+    const int conn = accept(fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoText("accept"));
+    }
+    *out = Socket(conn);
+    return Status::OK();
+  }
+}
+
+Status Connect(const std::string& address, int retries, double backoff_sec,
+               Socket* out) {
+  ParsedAddress parsed;
+  FEDDA_RETURN_IF_ERROR(ParseAddress(address, &parsed));
+  sockaddr_storage storage;
+  socklen_t len = 0;
+  FEDDA_RETURN_IF_ERROR(FillSockaddr(parsed, &storage, &len));
+
+  Status last = Status::IoError("connect never attempted");
+  for (int attempt = 0; attempt <= retries; ++attempt) {
+    if (attempt > 0) SleepSeconds(backoff_sec * attempt);
+    const int fd =
+        socket(parsed.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::IoError(ErrnoText("socket"));
+    Socket candidate(fd);
+    // EINTR on a blocking connect leaves the attempt completing in the
+    // background; re-calling connect on the same fd is undefined-ish
+    // (EALREADY/EISCONN). Treat it as a failed attempt and retry on a
+    // fresh socket instead.
+    if (connect(fd, reinterpret_cast<sockaddr*>(&storage), len) == 0) {
+      *out = std::move(candidate);
+      return Status::OK();
+    }
+    last = Status::IoError(ErrnoText("connect") + " (" + address + ")");
+  }
+  return last;
+}
+
+}  // namespace fedda::net

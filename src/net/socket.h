@@ -1,0 +1,117 @@
+#ifndef FEDDA_NET_SOCKET_H_
+#define FEDDA_NET_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/status.h"
+
+namespace fedda::net {
+
+/// POSIX stream sockets with the failure discipline of the rest of the
+/// codebase: every recoverable network condition — peer gone, deadline
+/// passed, malformed address — is a core::Status, never an exception or a
+/// crash. Addresses are strings in two schemes:
+///
+///   unix:<path>          Unix-domain stream socket at <path>
+///   tcp:<ipv4>:<port>    TCP over a numeric IPv4 address (no DNS: resolver
+///                        behavior is environment-dependent and the tooling
+///                        only ever targets loopback)
+///
+/// A tcp port of 0 binds an ephemeral port; Listener::address() reports the
+/// resolved one for clients to dial.
+
+/// Monotonic seconds since an arbitrary epoch. For I/O deadlines and RTT
+/// measurement only — wall-clock readings never feed back into round
+/// results, which stay a pure function of the seed.
+double MonotonicSeconds();
+
+/// RAII wrapper over a connected stream socket file descriptor. Move-only;
+/// the destructor closes. All I/O helpers retry EINTR internally.
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of `fd` (-1 for an empty socket).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Relinquishes ownership: returns the fd and leaves the socket empty
+  /// (the destructor will not close it).
+  int ReleaseFd() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Writes all `len` bytes, looping over partial writes and EINTR. SIGPIPE
+  /// is suppressed (MSG_NOSIGNAL): a vanished peer is an IoError, not a
+  /// process-killing signal.
+  [[nodiscard]] core::Status WriteAll(const void* data, size_t len);
+
+  /// Reads exactly `len` bytes or fails. The deadline is absolute for the
+  /// whole call (monotonic clock): every partial read shrinks the remaining
+  /// budget, so a peer trickling one byte per poll interval cannot stall
+  /// the caller past `timeout_sec`. EOF before `len` bytes, the deadline
+  /// expiring, and socket errors are all IoError.
+  [[nodiscard]] core::Status ReadAll(void* data, size_t len,
+                                     double timeout_sec);
+
+  /// One recv(2): sets *n to the bytes read (0 means clean EOF). Blocks
+  /// only if the socket has no data; poll() first for non-blocking servers.
+  [[nodiscard]] core::Status ReadSome(void* data, size_t capacity, size_t* n);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bound, listening server socket.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens on `address`. For unix: addresses a stale socket
+  /// file from a crashed previous run is removed first.
+  [[nodiscard]] static core::Status Listen(const std::string& address,
+                                           Listener* out);
+
+  /// Accepts one connection within `timeout_sec` (IoError on deadline).
+  [[nodiscard]] core::Status Accept(double timeout_sec, Socket* out);
+
+  /// The bound address in dialable form — for "tcp:<ip>:0" the ephemeral
+  /// port is resolved to its real value.
+  const std::string& address() const { return address_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes the listening socket and unlinks a unix-domain socket file.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string address_;
+  std::string uds_path_;  // non-empty for unix: listeners; unlinked on Close
+};
+
+/// Dials `address` with bounded retry: up to 1 + `retries` connect attempts
+/// with `backoff_sec` sleep between them (linear backoff: the k-th retry
+/// waits k * backoff_sec). Retrying covers the race where a client process
+/// starts before the server has bound its socket.
+[[nodiscard]] core::Status Connect(const std::string& address, int retries,
+                                   double backoff_sec, Socket* out);
+
+}  // namespace fedda::net
+
+#endif  // FEDDA_NET_SOCKET_H_

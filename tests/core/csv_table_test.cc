@@ -54,6 +54,19 @@ TEST_F(CsvWriterTest, NaNRendersAsEmptyFieldNotZero) {
   EXPECT_EQ(ReadFile(path_), "round,loss,auc\n0.000000,,0.500000\n");
 }
 
+TEST_F(CsvWriterTest, InfinitiesRenderAsEmptyFieldsToo) {
+  // Regression: the NaN fix checked only std::isnan, so a diverged loss
+  // (±Inf) still reached the file as "inf"/"-inf" and broke downstream
+  // CSV parsers exactly the way the old 0.0 sentinel did.
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path_, {"round", "loss", "grad", "auc"}).ok());
+  writer.WriteRow(std::vector<double>{
+      0.0, std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(), 0.5});
+  writer.Close();
+  EXPECT_EQ(ReadFile(path_), "round,loss,grad,auc\n0.000000,,,0.500000\n");
+}
+
 TEST_F(CsvWriterTest, OpenFailsForBadPath) {
   CsvWriter writer;
   EXPECT_FALSE(writer.Open("/nonexistent_dir_xyz/file.csv", {"a"}).ok());

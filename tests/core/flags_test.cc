@@ -81,6 +81,63 @@ TEST(FlagParserTest, MalformedValuesRejected) {
   }
 }
 
+TEST(FlagParserTest, OutOfRangeNumericValuesRejected) {
+  // Regression: strtoll/strtod saturate on overflow and only signal via
+  // errno, which Parse never checked — --rounds=99999999999999999999 used
+  // to silently become LLONG_MAX-clamped garbage instead of an error.
+  FlagParser flags;
+  int rounds = 0;
+  int64_t big = 0;
+  double lr = 0.0;
+  flags.AddInt("rounds", &rounds, "");
+  flags.AddInt("big", &big, "");
+  flags.AddDouble("lr", &lr, "");
+  const std::vector<std::string> bad = {
+      "--rounds=99999999999999999999",   // > LLONG_MAX: strtoll saturates
+      "--rounds=-99999999999999999999",  // < LLONG_MIN
+      "--rounds=3000000000",             // fits long, not int (LP64)
+      "--rounds=-3000000000",
+      "--big=9223372036854775808",       // LLONG_MAX + 1
+      "--big=-9223372036854775809",      // LLONG_MIN - 1
+      "--lr=1e400",                      // > DBL_MAX: strtod returns inf
+      "--lr=-1e400",
+      "--lr=1e-400",                     // denormal underflow, ERANGE
+  };
+  for (const std::string& arg : bad) {
+    std::vector<std::string> storage = {"prog", arg};
+    auto argv = MakeArgv(&storage);
+    const Status status =
+        flags.Parse(static_cast<int>(argv.size()), argv.data());
+    EXPECT_FALSE(status.ok()) << arg << " should have been rejected";
+    EXPECT_NE(status.message().find("out of range"), std::string::npos)
+        << arg << " -> " << status.message();
+  }
+}
+
+TEST(FlagParserTest, BoundaryNumericValuesStillAccepted) {
+  // The exact representable extremes must keep parsing: the range check
+  // rejects ERANGE saturation, not large-but-valid values.
+  FlagParser flags;
+  int rounds = 0;
+  int64_t big = 0;
+  flags.AddInt("rounds", &rounds, "");
+  flags.AddInt("big", &big, "");
+  std::vector<std::string> storage = {"prog", "--rounds=2147483647",
+                                      "--big=9223372036854775807"};
+  auto argv = MakeArgv(&storage);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(rounds, 2147483647);
+  EXPECT_EQ(big, 9223372036854775807LL);
+
+  std::vector<std::string> storage_min = {"prog", "--rounds=-2147483648",
+                                          "--big=-9223372036854775808"};
+  auto argv_min = MakeArgv(&storage_min);
+  ASSERT_TRUE(
+      flags.Parse(static_cast<int>(argv_min.size()), argv_min.data()).ok());
+  EXPECT_EQ(rounds, -2147483647 - 1);
+  EXPECT_EQ(big, -9223372036854775807LL - 1);
+}
+
 TEST(FlagParserTest, NonFlagArgumentRejected) {
   FlagParser flags;
   std::vector<std::string> storage = {"prog", "positional"};

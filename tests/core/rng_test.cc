@@ -181,5 +181,33 @@ TEST(RngTest, SplitIsDeterministic) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(ca.Next(), cb.Next());
 }
 
+TEST(RngTest, SaveStateRestoreContinuesStreamExactly) {
+  // The transport ships a split child's engine state to a remote client
+  // process; the restored stream must continue bit-for-bit where the
+  // original would have, including after the stream has already advanced.
+  Rng original(777);
+  for (int i = 0; i < 13; ++i) original.Next();
+  Rng restored = Rng::FromState(original.SaveState());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(restored.Next(), original.Next());
+}
+
+TEST(RngTest, SaveStateDoesNotPerturbTheStream) {
+  Rng a(3), b(3);
+  (void)a.SaveState();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, RestoredSplitMatchesInProcessSplit) {
+  // Exactly the hand-off the runner's transport path performs: the child
+  // stream crosses the process boundary as raw state and must draw the
+  // same values the in-process child would.
+  Rng parent_a(42), parent_b(42);
+  Rng child = parent_a.Split();
+  Rng shipped = Rng::FromState(parent_b.Split().SaveState());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(child.Gaussian(), shipped.Gaussian());
+  }
+}
+
 }  // namespace
 }  // namespace fedda::core

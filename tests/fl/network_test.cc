@@ -219,5 +219,25 @@ TEST(NetworkDeathTest, InvalidInputsAbort) {
   EXPECT_DEATH(TimeToAccuracy(short_run, timing, 0.5), "");
 }
 
+TEST(NetworkDeathTest, SemiAsyncResultsAreRejectedNotDoubleCounted) {
+  // A semi-async history already carries measured virtual network time
+  // (RoundRecord::virtual_time_sec, charged from the same NetworkModel
+  // constants while the run executed); feeding it to the post-hoc
+  // estimator would charge every transfer twice. The combination is an
+  // explicit error, not a silently wrong number.
+  FlRunResult run = MakeRun();
+  run.aggregation_mode = AggregationMode::kSemiAsync;
+  run.history[0].virtual_time_sec = 3.5;
+  EXPECT_DEATH(SimulateTiming(run, SimpleModel(), 2000, 1),
+               "double-counts network time");
+}
+
+TEST(NetworkTest, SynchronousResultsStillSimulateAfterTheGuard) {
+  FlRunResult run = MakeRun();
+  ASSERT_EQ(run.aggregation_mode, AggregationMode::kSynchronous);
+  const auto timing = SimulateTiming(run, SimpleModel(), 2000, 1);
+  EXPECT_EQ(timing.size(), run.history.size());
+}
+
 }  // namespace
 }  // namespace fedda::fl

@@ -1,0 +1,256 @@
+// Socket-framing robustness suite over real socketpairs: a malformed,
+// truncated, or mid-frame-abandoned byte stream must always come back as a
+// clean core::Status — never a hang past the deadline, never a crash, never
+// an allocation driven by a hostile length field.
+
+#include "net/framing.h"
+
+#include <sys/socket.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/binary_io.h"
+#include "net/socket.h"
+
+namespace fedda::net {
+namespace {
+
+/// A connected AF_UNIX stream pair; both ends close on destruction.
+struct SocketPair {
+  Socket a;
+  Socket b;
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = Socket(fds[0]);
+    b = Socket(fds[1]);
+  }
+};
+
+std::vector<uint8_t> SampleBody() {
+  std::vector<uint8_t> body;
+  for (int i = 0; i < 37; ++i) body.push_back(static_cast<uint8_t>(i * 7));
+  return body;
+}
+
+TEST(FramingTest, RoundTripsOverASocketPair) {
+  SocketPair pair;
+  const std::vector<uint8_t> body = SampleBody();
+  ASSERT_TRUE(WriteFrame(&pair.a, FrameType::kRoundStart, body).ok());
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(&pair.b, /*timeout_sec=*/5.0, &frame).ok());
+  EXPECT_EQ(frame.type, FrameType::kRoundStart);
+  EXPECT_EQ(frame.body, body);
+}
+
+TEST(FramingTest, EmptyBodyRoundTrips) {
+  SocketPair pair;
+  ASSERT_TRUE(WriteFrame(&pair.a, FrameType::kShutdown, {}).ok());
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(&pair.b, 5.0, &frame).ok());
+  EXPECT_EQ(frame.type, FrameType::kShutdown);
+  EXPECT_TRUE(frame.body.empty());
+}
+
+TEST(FramingTest, BackToBackFramesArriveInOrder) {
+  SocketPair pair;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(WriteFrame(&pair.a, FrameType::kRoundReply,
+                           {static_cast<uint8_t>(i)})
+                    .ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    Frame frame;
+    ASSERT_TRUE(ReadFrame(&pair.b, 5.0, &frame).ok());
+    EXPECT_EQ(frame.type, FrameType::kRoundReply);
+    ASSERT_EQ(frame.body.size(), 1u);
+    EXPECT_EQ(frame.body[0], static_cast<uint8_t>(i));
+  }
+}
+
+// The core fuzz sweep: for EVERY proper prefix length of a valid encoded
+// frame, send exactly that prefix and close the peer. The reader must
+// return a clean IoError quickly — the truncation can land inside the
+// header or inside the body, and neither may hang or crash.
+TEST(FramingFuzzTest, EveryPrefixTruncationFailsCleanly) {
+  const std::vector<uint8_t> encoded =
+      EncodeFrame(FrameType::kRoundStart, SampleBody());
+  for (size_t prefix = 0; prefix < encoded.size(); ++prefix) {
+    SocketPair pair;
+    if (prefix > 0) {
+      ASSERT_TRUE(pair.a.WriteAll(encoded.data(), prefix).ok());
+    }
+    pair.a.Close();  // mid-frame peer close
+    Frame frame;
+    const core::Status status = ReadFrame(&pair.b, /*timeout_sec=*/5.0,
+                                          &frame);
+    EXPECT_FALSE(status.ok()) << "prefix " << prefix;
+  }
+}
+
+// Same sweep, but the sender goes silent instead of closing: the reader
+// must give up at its deadline, not block forever. One representative
+// header-truncation and one body-truncation point keep the wall-clock cost
+// of the deliberate timeouts bounded.
+TEST(FramingFuzzTest, SilentPeerTimesOutMidHeaderAndMidBody) {
+  const std::vector<uint8_t> encoded =
+      EncodeFrame(FrameType::kRoundStart, SampleBody());
+  for (const size_t prefix : {size_t{5}, size_t{kFrameHeaderBytes + 3}}) {
+    SocketPair pair;
+    ASSERT_TRUE(pair.a.WriteAll(encoded.data(), prefix).ok());
+    Frame frame;
+    const double start = MonotonicSeconds();
+    const core::Status status = ReadFrame(&pair.b, /*timeout_sec=*/0.2,
+                                          &frame);
+    EXPECT_FALSE(status.ok()) << "prefix " << prefix;
+    EXPECT_LT(MonotonicSeconds() - start, 5.0);
+  }
+}
+
+std::vector<uint8_t> HeaderBytes(uint32_t magic, uint32_t type,
+                                 uint32_t body_len) {
+  core::ByteWriter writer;
+  writer.WriteU32(magic);
+  writer.WriteU32(type);
+  writer.WriteU32(body_len);
+  return writer.Release();
+}
+
+TEST(FramingFuzzTest, BadMagicRejected) {
+  SocketPair pair;
+  const std::vector<uint8_t> header = HeaderBytes(0xDEADBEEFu, 1, 0);
+  ASSERT_TRUE(pair.a.WriteAll(header.data(), header.size()).ok());
+  Frame frame;
+  const core::Status status = ReadFrame(&pair.b, 5.0, &frame);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("magic"), std::string::npos);
+}
+
+TEST(FramingFuzzTest, UnknownTypeRejected) {
+  for (const uint32_t type : {0u, 7u, 0xFFFFFFFFu}) {
+    SocketPair pair;
+    const std::vector<uint8_t> header = HeaderBytes(kFrameMagic, type, 0);
+    ASSERT_TRUE(pair.a.WriteAll(header.data(), header.size()).ok());
+    Frame frame;
+    EXPECT_FALSE(ReadFrame(&pair.b, 5.0, &frame).ok()) << "type " << type;
+  }
+}
+
+// A hostile length field must be rejected from the 12 header bytes alone —
+// before any body allocation. The peer never sends a body, so a reader
+// that tried to allocate-and-read would instead hang until the deadline.
+TEST(FramingFuzzTest, OversizeLengthRejectedWithoutAllocation) {
+  SocketPair pair;
+  const std::vector<uint8_t> header =
+      HeaderBytes(kFrameMagic, 1, kMaxFrameBody + 1);
+  ASSERT_TRUE(pair.a.WriteAll(header.data(), header.size()).ok());
+  Frame frame;
+  const double start = MonotonicSeconds();
+  const core::Status status = ReadFrame(&pair.b, /*timeout_sec=*/30.0,
+                                        &frame);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("too large"), std::string::npos);
+  EXPECT_LT(MonotonicSeconds() - start, 5.0);  // rejected, not awaited
+}
+
+TEST(FrameAssemblerTest, ReassemblesFromSingleByteFeeds) {
+  const std::vector<uint8_t> body = SampleBody();
+  const std::vector<uint8_t> encoded =
+      EncodeFrame(FrameType::kRoundReply, body);
+  FrameAssembler assembler;
+  Frame frame;
+  bool ready = false;
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    assembler.Feed(&encoded[i], 1);
+    ASSERT_TRUE(assembler.Next(&frame, &ready).ok());
+    if (i + 1 < encoded.size()) {
+      EXPECT_FALSE(ready) << "frame completed early at byte " << i;
+    }
+  }
+  ASSERT_TRUE(ready);
+  EXPECT_EQ(frame.type, FrameType::kRoundReply);
+  EXPECT_EQ(frame.body, body);
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(FrameAssemblerTest, SplitsCoalescedFrames) {
+  std::vector<uint8_t> stream;
+  for (int i = 0; i < 3; ++i) {
+    const std::vector<uint8_t> encoded =
+        EncodeFrame(FrameType::kRoundStart, {static_cast<uint8_t>(i), 9});
+    stream.insert(stream.end(), encoded.begin(), encoded.end());
+  }
+  FrameAssembler assembler;
+  assembler.Feed(stream.data(), stream.size());
+  for (int i = 0; i < 3; ++i) {
+    Frame frame;
+    bool ready = false;
+    ASSERT_TRUE(assembler.Next(&frame, &ready).ok());
+    ASSERT_TRUE(ready) << "frame " << i;
+    ASSERT_EQ(frame.body.size(), 2u);
+    EXPECT_EQ(frame.body[0], static_cast<uint8_t>(i));
+  }
+  Frame frame;
+  bool ready = true;
+  ASSERT_TRUE(assembler.Next(&frame, &ready).ok());
+  EXPECT_FALSE(ready);
+}
+
+TEST(FrameAssemblerTest, CorruptHeaderPoisonsPermanently) {
+  FrameAssembler assembler;
+  const std::vector<uint8_t> bad = HeaderBytes(0x12345678u, 1, 0);
+  assembler.Feed(bad.data(), bad.size());
+  Frame frame;
+  bool ready = false;
+  EXPECT_FALSE(assembler.Next(&frame, &ready).ok());
+  EXPECT_FALSE(ready);
+  // Even a subsequent valid frame cannot resynchronize the stream: framing
+  // carries no resync marker, so trusting anything after corruption would
+  // risk treating payload bytes as headers.
+  const std::vector<uint8_t> good = EncodeFrame(FrameType::kHello, {1});
+  assembler.Feed(good.data(), good.size());
+  EXPECT_FALSE(assembler.Next(&frame, &ready).ok());
+  EXPECT_FALSE(ready);
+}
+
+TEST(FrameAssemblerTest, OversizeLengthPoisons) {
+  FrameAssembler assembler;
+  const std::vector<uint8_t> bad =
+      HeaderBytes(kFrameMagic, 2, kMaxFrameBody + 7);
+  assembler.Feed(bad.data(), bad.size());
+  Frame frame;
+  bool ready = false;
+  const core::Status status = assembler.Next(&frame, &ready);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("too large"), std::string::npos);
+}
+
+// Frames big enough to span many TCP segments still round-trip: a writer
+// thread pushes while the reader drains, exercising partial reads/writes
+// beyond the socket buffer size.
+TEST(FramingTest, LargeFrameRoundTripsAcrossPartialIo) {
+  SocketPair pair;
+  std::vector<uint8_t> body(1 << 20);
+  for (size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<uint8_t>(i * 2654435761u >> 13);
+  }
+  core::Status write_status = core::Status::OK();
+  std::thread writer([&] {
+    write_status = WriteFrame(&pair.a, FrameType::kRoundReply, body);
+  });
+  Frame frame;
+  const core::Status read_status = ReadFrame(&pair.b, 30.0, &frame);
+  writer.join();
+  ASSERT_TRUE(write_status.ok()) << write_status.ToString();
+  ASSERT_TRUE(read_status.ok()) << read_status.ToString();
+  EXPECT_EQ(frame.type, FrameType::kRoundReply);
+  EXPECT_EQ(frame.body, body);
+}
+
+}  // namespace
+}  // namespace fedda::net
