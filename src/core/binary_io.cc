@@ -59,8 +59,27 @@ Status BinaryReader::Open(const std::string& path) {
   in_.open(path, std::ios::in | std::ios::binary);
   if (!in_.is_open()) {
     status_ = Status::IoError("cannot open for reading: " + path);
+    return status_;
   }
+  // The size is the budget every block read is validated against: a
+  // decoded count that implies more bytes than the file holds is rejected
+  // before any allocation.
+  in_.seekg(0, std::ios::end);
+  const std::streamoff size = in_.tellg();
+  in_.seekg(0, std::ios::beg);
+  if (size < 0 || !in_.good()) {
+    status_ = Status::IoError("cannot determine file size: " + path);
+    return status_;
+  }
+  file_size_ = static_cast<size_t>(size);
   return status_;
+}
+
+size_t BinaryReader::remaining() {
+  if (!status_.ok()) return 0;
+  const std::streamoff pos = in_.tellg();
+  if (pos < 0 || static_cast<size_t>(pos) > file_size_) return 0;
+  return file_size_ - static_cast<size_t>(pos);
 }
 
 void BinaryReader::ReadRaw(void* data, size_t size) {
@@ -104,7 +123,7 @@ double BinaryReader::ReadDouble() {
 std::string BinaryReader::ReadString() {
   const uint32_t length = ReadU32();
   if (!status_.ok()) return {};
-  if (length > kMaxStringLength) {
+  if (length > kMaxStringLength || length > remaining()) {
     status_ = Status::IoError("string length implausible (corrupt file?)");
     return {};
   }
@@ -114,12 +133,22 @@ std::string BinaryReader::ReadString() {
 }
 
 std::vector<float> BinaryReader::ReadFloats(size_t count) {
+  if (!status_.ok()) return {};
+  if (count > remaining() / sizeof(float)) {
+    status_ = Status::IoError("float block exceeds file");
+    return {};
+  }
   std::vector<float> values(count, 0.0f);
   ReadRaw(values.data(), count * sizeof(float));
   return values;
 }
 
 std::vector<uint8_t> BinaryReader::ReadBytes(size_t count) {
+  if (!status_.ok()) return {};
+  if (count > remaining()) {
+    status_ = Status::IoError("byte block exceeds file");
+    return {};
+  }
   std::vector<uint8_t> bytes(count, 0);
   ReadRaw(bytes.data(), count);
   return bytes;
@@ -161,7 +190,9 @@ void ByteReader::ReadRaw(void* data, size_t size) {
     status_ = Status::IoError("unexpected end of payload");
     return;
   }
-  std::memcpy(data, data_ + pos_, size);
+  // A zero-length read may carry data() of an empty container, which is
+  // null — and passing null to memcpy is UB even for size 0.
+  if (size > 0) std::memcpy(data, data_ + pos_, size);
   pos_ += size;
 }
 

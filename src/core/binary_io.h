@@ -50,6 +50,13 @@ class BinaryWriter {
 
 /// Little-endian binary reader matching BinaryWriter. Read methods return
 /// defaults after the first failure; check `status()` at the end.
+///
+/// Like ByteReader, block reads validate their count against the bytes
+/// actually left in the file *before* allocating — a corrupt or hostile
+/// length field surfaces as a clean IoError, never an unbounded
+/// allocation. Decoders should additionally bound counts they multiply
+/// (rows*cols, dim*count) against `remaining()` before calling ReadFloats
+/// so the product cannot overflow.
 class BinaryReader {
  public:
   BinaryReader() = default;
@@ -70,6 +77,8 @@ class BinaryReader {
   std::vector<uint8_t> ReadBytes(size_t count);
 
   [[nodiscard]] const Status& status() const { return status_; }
+  /// Bytes left before end-of-file (0 after a failure).
+  [[nodiscard]] size_t remaining();
   /// True when the stream is positioned at end-of-file with no errors.
   [[nodiscard]] bool AtEof();
 
@@ -77,6 +86,7 @@ class BinaryReader {
   void ReadRaw(void* data, size_t size);
 
   std::ifstream in_;
+  size_t file_size_ = 0;
   Status status_;
 };
 

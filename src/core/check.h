@@ -42,12 +42,21 @@ class CheckFailureStream {
   ::fedda::core::internal::CheckFailureStream("FEDDA_CHECK", __FILE__, \
                                               __LINE__, #condition)
 
-#define FEDDA_CHECK_EQ(a, b) FEDDA_CHECK((a) == (b)) << #a << "=" << (a) << ","
-#define FEDDA_CHECK_NE(a, b) FEDDA_CHECK((a) != (b))
-#define FEDDA_CHECK_LT(a, b) FEDDA_CHECK((a) < (b)) << #a << "=" << (a) << ","
-#define FEDDA_CHECK_LE(a, b) FEDDA_CHECK((a) <= (b)) << #a << "=" << (a) << ","
-#define FEDDA_CHECK_GT(a, b) FEDDA_CHECK((a) > (b)) << #a << "=" << (a) << ","
-#define FEDDA_CHECK_GE(a, b) FEDDA_CHECK((a) >= (b)) << #a << "=" << (a) << ","
+/// Comparison checks print both operands — name and value each — so a
+/// failure log alone pinpoints which side was wrong:
+///   FEDDA_CHECK_EQ failure at f.cc:12: a == b a = 3 , b = 4 ,
+#define FEDDA_CHECK_OP_(a, b, op)                                          \
+  if (!((a)op(b)))                                                         \
+  ::fedda::core::internal::CheckFailureStream(                             \
+      "FEDDA_CHECK", __FILE__, __LINE__, #a " " #op " " #b)                \
+      << #a << "=" << (a) << "," << #b << "=" << (b) << ","
+
+#define FEDDA_CHECK_EQ(a, b) FEDDA_CHECK_OP_(a, b, ==)
+#define FEDDA_CHECK_NE(a, b) FEDDA_CHECK_OP_(a, b, !=)
+#define FEDDA_CHECK_LT(a, b) FEDDA_CHECK_OP_(a, b, <)
+#define FEDDA_CHECK_LE(a, b) FEDDA_CHECK_OP_(a, b, <=)
+#define FEDDA_CHECK_GT(a, b) FEDDA_CHECK_OP_(a, b, >)
+#define FEDDA_CHECK_GE(a, b) FEDDA_CHECK_OP_(a, b, >=)
 
 /// Aborts if `status_expr` does not evaluate to an OK status.
 #define FEDDA_CHECK_OK(status_expr)                                       \

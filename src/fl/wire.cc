@@ -146,6 +146,13 @@ core::Status WirePayload::Deserialize(const std::vector<uint8_t>& bytes) {
     if (entry.size < 0) {
       return core::Status::InvalidArgument("negative group size");
     }
+    // Validate-before-allocate, and before arithmetic: a size near
+    // INT64_MAX would overflow MaskBytes' `size + 7` (UB) before the
+    // block reads could reject it. Even a bit-packed mask needs size/8
+    // bytes still in the payload, so this cap is sound for both encodings.
+    if (static_cast<uint64_t>(entry.size) > 8ull * reader.remaining()) {
+      return core::Status::InvalidArgument("group size exceeds payload");
+    }
     if (encoding == kEncodingMasked) {
       entry.mask = reader.ReadBytes(static_cast<size_t>(MaskBytes(entry.size)));
       if (!reader.status().ok()) return reader.status();

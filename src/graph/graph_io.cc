@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "core/binary_io.h"
 #include "core/string_util.h"
@@ -76,6 +78,16 @@ core::Status LoadGraph(const std::string& path, HeteroGraph* graph) {
     if (dim < 0 || count < 0) {
       return core::Status::InvalidArgument("corrupt node type block");
     }
+    // Bound dim*count against the bytes actually left before multiplying:
+    // two plausible-looking halves can overflow int64 (UB) or demand an
+    // allocation far beyond the file. kMaxFrameBody-style policy: reject
+    // before reserve/resize, never after.
+    if (dim > 0 &&
+        count > static_cast<int64_t>(reader.remaining() / sizeof(float) /
+                                     static_cast<uint64_t>(dim))) {
+      return core::Status::InvalidArgument(
+          "node feature block exceeds file");
+    }
     builder.AddNodeType(name, dim);
     std::vector<float> values =
         reader.ReadFloats(static_cast<size_t>(dim * count));
@@ -86,6 +98,7 @@ core::Status LoadGraph(const std::string& path, HeteroGraph* graph) {
   }
 
   const uint32_t num_edge_types = reader.ReadU32();
+  std::vector<std::pair<uint32_t, uint32_t>> edge_endpoints;
   for (uint32_t t = 0; t < num_edge_types; ++t) {
     const std::string name = reader.ReadString();
     const uint32_t src = reader.ReadU32();
@@ -96,13 +109,20 @@ core::Status LoadGraph(const std::string& path, HeteroGraph* graph) {
     }
     builder.AddEdgeType(name, static_cast<NodeTypeId>(src),
                         static_cast<NodeTypeId>(dst));
+    edge_endpoints.emplace_back(src, dst);
   }
 
   const int64_t num_nodes = reader.ReadI64();
   if (!reader.status().ok() || num_nodes < 0) {
     return core::Status::InvalidArgument("corrupt node count");
   }
+  if (num_nodes > static_cast<int64_t>(reader.remaining() /
+                                       sizeof(uint32_t))) {
+    return core::Status::InvalidArgument("node records exceed file");
+  }
   std::vector<int64_t> seen(num_node_types, 0);
+  std::vector<uint32_t> node_types;
+  node_types.reserve(static_cast<size_t>(num_nodes));
   for (int64_t v = 0; v < num_nodes; ++v) {
     const uint32_t t = reader.ReadU32();
     if (!reader.status().ok()) return reader.status();
@@ -111,6 +131,7 @@ core::Status LoadGraph(const std::string& path, HeteroGraph* graph) {
     }
     builder.AddNode(static_cast<NodeTypeId>(t));
     ++seen[t];
+    node_types.push_back(t);
   }
   for (uint32_t t = 0; t < num_node_types; ++t) {
     if (seen[t] != type_counts[t]) {
@@ -124,6 +145,10 @@ core::Status LoadGraph(const std::string& path, HeteroGraph* graph) {
   if (!reader.status().ok() || num_edges < 0) {
     return core::Status::InvalidArgument("corrupt edge count");
   }
+  if (num_edges > static_cast<int64_t>(reader.remaining() /
+                                       (3 * sizeof(uint32_t)))) {
+    return core::Status::InvalidArgument("edge records exceed file");
+  }
   for (int64_t e = 0; e < num_edges; ++e) {
     const uint32_t u = reader.ReadU32();
     const uint32_t v = reader.ReadU32();
@@ -132,6 +157,13 @@ core::Status LoadGraph(const std::string& path, HeteroGraph* graph) {
     if (u >= static_cast<uint32_t>(num_nodes) ||
         v >= static_cast<uint32_t>(num_nodes) || t >= num_edge_types) {
       return core::Status::InvalidArgument("corrupt edge record");
+    }
+    // The builder CHECKs endpoint/type consistency (programmer contract);
+    // from file bytes that contract must fail as a Status, not an abort.
+    if (node_types[u] != edge_endpoints[t].first ||
+        node_types[v] != edge_endpoints[t].second) {
+      return core::Status::InvalidArgument(
+          "edge endpoints do not match edge type");
     }
     builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v),
                     static_cast<EdgeTypeId>(t));

@@ -9,6 +9,7 @@
 #include "core/binary_io.h"
 #include "core/check.h"
 #include "core/rng.h"
+#include "core/sanitize.h"
 #include "fl/wire.h"
 #include "tensor/parameter_store.h"
 
@@ -25,8 +26,9 @@ constexpr size_t kReadChunk = 64 * 1024;
 
 }  // namespace
 
+FEDDA_NO_SANITIZE_UNSIGNED_WRAP
 uint64_t Fingerprint64(const std::string& text) {
-  // FNV-1a, 64-bit.
+  // FNV-1a, 64-bit: the multiply wraps by design.
   uint64_t hash = 14695981039346656037ull;
   for (const char c : text) {
     hash ^= static_cast<uint8_t>(c);
@@ -66,15 +68,23 @@ Status DecodeRoundStart(const std::vector<uint8_t>& body,
   decoded.fedda = reader.ReadU8() != 0;
   if (decoded.fedda) {
     const uint64_t units = reader.ReadU64();
-    // Bounds first: ReadBytes rejects a packed block larger than the
-    // remaining body, so a corrupt unit count cannot allocate unboundedly.
+    // Bound the unit count against the bytes actually present *before* any
+    // arithmetic on it: a wire-supplied count near 2^64 would wrap
+    // `units + 7` to a tiny packed size and then fail UnpackBits'
+    // internal invariant — an abort reachable from attacker bytes.
+    if (units > 8ull * reader.remaining()) {
+      return Status::IoError("mask unit count exceeds payload");
+    }
     const std::vector<uint8_t> packed =
         reader.ReadBytes(static_cast<size_t>((units + 7) / 8));
     FEDDA_RETURN_IF_ERROR(reader.status());
     decoded.mask_bits = fl::UnpackBits(packed, static_cast<size_t>(units));
   } else {
     const uint64_t count = reader.ReadU64();
-    if (count > body.size()) {
+    // Each group id is a u32 still to be read, so the tightest
+    // plausibility cap is the remaining bytes — checked before reserve so
+    // a corrupt count cannot allocate gigabytes.
+    if (count > reader.remaining() / sizeof(uint32_t)) {
       return Status::IoError("group count exceeds payload");
     }
     decoded.selected_groups.reserve(static_cast<size_t>(count));

@@ -65,6 +65,16 @@ core::Status ReadAllGroups(const std::string& path,
     if (record.rows < 0 || record.cols < 0) {
       return core::Status::InvalidArgument("negative shape in checkpoint");
     }
+    // Bound rows*cols against the bytes actually left before multiplying:
+    // two plausible-looking halves can overflow int64 (UB) or demand an
+    // allocation far beyond the file.
+    if (record.cols > 0 &&
+        record.rows >
+            static_cast<int64_t>(reader.remaining() / sizeof(float) /
+                                 static_cast<uint64_t>(record.cols))) {
+      return core::Status::InvalidArgument(
+          "tensor block exceeds checkpoint file");
+    }
     record.values = reader.ReadFloats(
         static_cast<size_t>(record.rows * record.cols));
     if (!reader.status().ok()) return reader.status();

@@ -80,6 +80,61 @@ TEST_F(BinaryIoTest, ImplausibleStringLengthRejected) {
   EXPECT_FALSE(reader.status().ok());
 }
 
+// Counts decoded from file bytes must be validated against the bytes left
+// in the file *before* the vector/string is sized — a forged count used to
+// allocate first (up to the plausibility caps) and fail the read later.
+TEST_F(BinaryIoTest, OversizeCountsRejectedBeforeAllocating) {
+  {
+    BinaryWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    writer.WriteU32(64);  // a count; only 4 bytes follow
+    writer.WriteU32(0);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  {
+    BinaryReader reader;
+    ASSERT_TRUE(reader.Open(path_).ok());
+    EXPECT_TRUE(reader.ReadFloats(64).empty());
+    EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+    EXPECT_NE(reader.status().message().find("float block exceeds file"),
+              std::string::npos);
+  }
+  {
+    BinaryReader reader;
+    ASSERT_TRUE(reader.Open(path_).ok());
+    EXPECT_TRUE(reader.ReadBytes(64).empty());
+    EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+    EXPECT_NE(reader.status().message().find("byte block exceeds file"),
+              std::string::npos);
+  }
+  {
+    // String length 64 is far below the plausibility cap but still larger
+    // than the 4 bytes that follow the prefix.
+    BinaryReader reader;
+    ASSERT_TRUE(reader.Open(path_).ok());
+    EXPECT_TRUE(reader.ReadString().empty());
+    EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+  }
+}
+
+TEST_F(BinaryIoTest, RemainingTracksReadPosition) {
+  {
+    BinaryWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    writer.WriteU32(1);
+    writer.WriteU64(2);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  EXPECT_EQ(reader.remaining(), 12u);
+  reader.ReadU32();
+  EXPECT_EQ(reader.remaining(), 8u);
+  reader.ReadU64();
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_TRUE(reader.AtEof());
+}
+
 TEST_F(BinaryIoTest, OpenMissingFileFails) {
   BinaryReader reader;
   EXPECT_FALSE(reader.Open("/nonexistent_dir_xyz/file.bin").ok());

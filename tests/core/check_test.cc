@@ -24,11 +24,18 @@ TEST(CheckDeathTest, FailureAbortsWithConditionText) {
   EXPECT_DEATH(FEDDA_CHECK(false) << "payload" << 42, "payload 42");
 }
 
-TEST(CheckDeathTest, ComparisonMacrosReportValues) {
+TEST(CheckDeathTest, ComparisonMacrosReportBothOperands) {
+  // Every comparison macro must print *both* operand names and values (the
+  // failure stream inserts a space before each streamed token, hence
+  // "name = value"). A log line alone must pinpoint which side was wrong.
   const int x = 7;
-  EXPECT_DEATH(FEDDA_CHECK_EQ(x, 9), "x = 7");
-  EXPECT_DEATH(FEDDA_CHECK_LT(x, 3), "x = 7");
-  EXPECT_DEATH(FEDDA_CHECK_GE(x, 100), "x = 7");
+  const int limit = 3;
+  EXPECT_DEATH(FEDDA_CHECK_EQ(x, 9), "x == 9.* x = 7 , 9 = 9");
+  EXPECT_DEATH(FEDDA_CHECK_NE(x, 7), "x != 7.* x = 7 , 7 = 7");
+  EXPECT_DEATH(FEDDA_CHECK_LT(x, limit), "x < limit.* x = 7 , limit = 3");
+  EXPECT_DEATH(FEDDA_CHECK_LE(x, limit), "x <= limit.* x = 7 , limit = 3");
+  EXPECT_DEATH(FEDDA_CHECK_GT(limit, x), "limit > x.* limit = 3 , x = 7");
+  EXPECT_DEATH(FEDDA_CHECK_GE(limit, x), "limit >= x.* limit = 3 , x = 7");
 }
 
 TEST(CheckDeathTest, CheckOkReportsStatus) {

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/binary_io.h"
 #include "core/rng.h"
 #include "fl/activation.h"
 #include "tensor/parameter_store.h"
@@ -274,6 +276,29 @@ TEST(WirePayloadTest, CorruptHeadersAreRejected) {
   EXPECT_FALSE(decoded.Deserialize(bad).ok());
   EXPECT_EQ(decoded.EncodedBytes(), encoded);
   EXPECT_EQ(decoded.groups().size(), static_cast<size_t>(5));
+}
+
+// An entry claiming size = INT64_MAX: MaskBytes' `size + 7` was
+// signed-overflow UB before any block read could reject the entry. The
+// declared size must be checked against the bytes remaining first.
+TEST(WirePayloadTest, EntrySizeOverflowIsRejectedBeforeArithmetic) {
+  core::ByteWriter writer;
+  writer.WriteU32(0xF3DDA13E);  // magic
+  writer.WriteU32(1);           // version
+  writer.WriteU32(1);           // kind: uplink
+  writer.WriteU32(0);           // client
+  writer.WriteU32(0);           // round
+  writer.WriteU32(3);           // total_groups
+  writer.WriteU32(1);           // one entry
+  writer.WriteU32(0);           // group id
+  writer.WriteU8(1);            // masked encoding
+  writer.WriteI64(std::numeric_limits<int64_t>::max());  // size
+  WirePayload decoded;
+  const core::Status status = decoded.Deserialize(writer.Release());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("group size exceeds payload"),
+            std::string::npos)
+      << status.ToString();
 }
 
 TEST(WirePayloadTest, NonCanonicalMaskPaddingIsRejected) {

@@ -1,0 +1,39 @@
+#include <cstdint>
+#include <string>
+
+#include "fl/activation.h"
+#include "tensor/parameter_store.h"
+#include "tests/fuzz/fuzz_harness.h"
+
+namespace {
+
+fedda::tensor::ParameterStore* ReferenceStore() {
+  static fedda::tensor::ParameterStore* store = [] {
+    auto* s = new fedda::tensor::ParameterStore();
+    s->Register("shared", fedda::tensor::Tensor::Zeros(2, 2));
+    s->Register("rel0", fedda::tensor::Tensor::Zeros(3, 1),
+                /*disentangled=*/true, /*edge_type=*/0);
+    s->Register("rel1", fedda::tensor::Tensor::Zeros(1, 4),
+                /*disentangled=*/true, /*edge_type=*/1);
+    return s;
+  }();
+  return store;
+}
+
+}  // namespace
+
+/// ActivationState::Load restores the server's crash-recovery checkpoint
+/// (active set + masks + options) — scalar granularity so both the
+/// bit-packed v2 mask blocks and the layout checks are exercised. The
+/// state instance is rebuilt per input: Load must either fully apply or
+/// leave a clean error, and a fresh instance makes every input
+/// independent.
+FEDDA_FUZZ_TARGET(ActivationLoad) {
+  static const std::string path = fedda::fuzz::ScratchPath("activation");
+  fedda::fuzz::WriteScratch(path, data, size);
+  fedda::fl::ActivationOptions options;
+  options.granularity = fedda::fl::ActivationGranularity::kScalar;
+  fedda::fl::ActivationState state(/*num_clients=*/4, *ReferenceStore(),
+                                   options);
+  (void)state.Load(path);
+}

@@ -1,0 +1,22 @@
+#include <cstdint>
+#include <string>
+
+#include "tensor/checkpoint.h"
+#include "tensor/parameter_store.h"
+#include "tests/fuzz/fuzz_harness.h"
+
+/// Checkpoint files (core::BinaryReader surface): LoadCheckpoint
+/// reconstructs a store from scratch, RestoreCheckpointValues overwrites a
+/// fixed-layout store — both must reject corrupt shapes, counts, and
+/// truncation before allocating.
+FEDDA_FUZZ_TARGET(Checkpoint) {
+  static const std::string path = fedda::fuzz::ScratchPath("checkpoint");
+  fedda::fuzz::WriteScratch(path, data, size);
+  fedda::tensor::ParameterStore fresh;
+  (void)fedda::tensor::LoadCheckpoint(path, &fresh);
+  fedda::tensor::ParameterStore fixed;
+  fixed.Register("w0", fedda::tensor::Tensor::Zeros(2, 3));
+  fixed.Register("w1", fedda::tensor::Tensor::Zeros(4, 1),
+                 /*disentangled=*/true, /*edge_type=*/0);
+  (void)fedda::tensor::RestoreCheckpointValues(path, &fixed);
+}

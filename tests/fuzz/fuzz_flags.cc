@@ -1,0 +1,42 @@
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/flags.h"
+#include "tests/fuzz/fuzz_harness.h"
+
+/// Command-line ingestion: FlagParser::Parse sees whatever a sweep script
+/// or operator passes. The fuzz buffer is NUL-split into argv tokens over
+/// a parser with one flag of every kind, so numeric overflow, malformed
+/// `--name=value` shapes, and unknown-flag handling are all reachable.
+FEDDA_FUZZ_TARGET(Flags) {
+  std::vector<std::string> tokens;
+  tokens.emplace_back("fuzz_flags");  // argv[0]
+  std::string current;
+  for (size_t i = 0; i < size && tokens.size() < 64; ++i) {
+    if (data[i] == '\0') {
+      tokens.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(static_cast<char>(data[i]));
+    }
+  }
+  if (!current.empty() && tokens.size() < 64) tokens.push_back(current);
+
+  fedda::core::FlagParser parser;
+  int64_t rounds = 40;
+  int clients = 8;
+  double lr = 0.05;
+  bool fedda_on = true;
+  std::string outdir = "bench_results";
+  parser.AddInt("rounds", &rounds, "communication rounds");
+  parser.AddInt("clients", &clients, "client count");
+  parser.AddDouble("lr", &lr, "learning rate");
+  parser.AddBool("fedda", &fedda_on, "enable FedDA");
+  parser.AddString("outdir", &outdir, "output directory");
+
+  std::vector<char*> argv;
+  argv.reserve(tokens.size());
+  for (std::string& token : tokens) argv.push_back(token.data());
+  (void)parser.Parse(static_cast<int>(argv.size()), argv.data());
+}

@@ -1,0 +1,67 @@
+#include <sys/socket.h>
+
+#include <cstring>
+#include <vector>
+
+#include "net/framing.h"
+#include "net/socket.h"
+#include "tests/fuzz/fuzz_harness.h"
+
+namespace {
+
+using fedda::net::Frame;
+using fedda::net::FrameAssembler;
+using fedda::net::ReadFrame;
+
+/// Streaming path: the same bytes fed to a FrameAssembler in two chunk
+/// patterns (all-at-once and byte-at-a-time), draining completed frames.
+/// Chunking must never change what parses.
+void DriveAssembler(const uint8_t* data, size_t size) {
+  FrameAssembler whole;
+  whole.Feed(data, size);
+  for (;;) {
+    Frame frame;
+    bool ready = false;
+    if (!whole.Next(&frame, &ready).ok() || !ready) break;
+  }
+  FrameAssembler trickle;
+  for (size_t i = 0; i < size; ++i) {
+    trickle.Feed(data + i, 1);
+    Frame frame;
+    bool ready = false;
+    while (trickle.Next(&frame, &ready).ok() && ready) {
+    }
+  }
+}
+
+/// Blocking path: the bytes arrive over a real socketpair and EOF. The
+/// kernel buffer bounds how much fits without a reader, so oversized
+/// inputs are truncated — exactly the mid-frame-EOF scenario ReadFrame
+/// must survive (clean IoError, no hang past the deadline, no crash).
+void DriveReadFrame(const uint8_t* data, size_t size) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return;
+  fedda::net::Socket reader(fds[0]);
+  {
+    fedda::net::Socket writer(fds[1]);
+    size_t written = 0;
+    while (written < size) {
+      const ssize_t n = ::send(writer.fd(), data + written, size - written,
+                               MSG_DONTWAIT | MSG_NOSIGNAL);
+      if (n <= 0) break;
+      written += static_cast<size_t>(n);
+    }
+    // writer closes here: the reader sees the bytes, then EOF.
+  }
+  for (;;) {
+    Frame frame;
+    if (!ReadFrame(&reader, /*timeout_sec=*/1.0, &frame).ok()) break;
+  }
+}
+
+}  // namespace
+
+FEDDA_FUZZ_TARGET(Framing) {
+  DriveAssembler(data, size);
+  DriveReadFrame(data, size);
+}

@@ -1,0 +1,16 @@
+#include <cstdint>
+#include <string>
+
+#include "graph/graph_io.h"
+#include "graph/hetero_graph.h"
+#include "tests/fuzz/fuzz_harness.h"
+
+/// Binary graph files: LoadGraph rebuilds a HeteroGraph through the
+/// builder, so type references, node/edge counts, and feature-block sizes
+/// all come from the file and must be validated against it.
+FEDDA_FUZZ_TARGET(GraphLoad) {
+  static const std::string path = fedda::fuzz::ScratchPath("graph");
+  fedda::fuzz::WriteScratch(path, data, size);
+  fedda::graph::HeteroGraph graph;
+  (void)fedda::graph::LoadGraph(path, &graph);
+}

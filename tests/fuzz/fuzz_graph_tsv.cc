@@ -1,0 +1,21 @@
+#include <cstdint>
+#include <string>
+
+#include "graph/graph_io.h"
+#include "graph/hetero_graph.h"
+#include "tests/fuzz/fuzz_harness.h"
+
+/// Text ingestion (the TSV nodes+edges pair): one fuzz buffer split at the
+/// first 0x1E record separator becomes the two files, so the fuzzer can
+/// mutate node declarations and edge records jointly — the cross-file
+/// checks (ids in range, endpoint types consistent) are where the bugs
+/// live.
+FEDDA_FUZZ_TARGET(GraphTsv) {
+  static const std::string nodes_path = fedda::fuzz::ScratchPath("nodes.tsv");
+  static const std::string edges_path = fedda::fuzz::ScratchPath("edges.tsv");
+  const auto [nodes, edges] = fedda::fuzz::SplitAt(data, size, 0x1E);
+  fedda::fuzz::WriteScratch(nodes_path, nodes.data(), nodes.size());
+  fedda::fuzz::WriteScratch(edges_path, edges.data(), edges.size());
+  fedda::graph::HeteroGraph graph;
+  (void)fedda::graph::LoadGraphFromTsv(nodes_path, edges_path, &graph);
+}

@@ -1,0 +1,66 @@
+#ifndef FEDDA_TESTS_FUZZ_FUZZ_HARNESS_H_
+#define FEDDA_TESTS_FUZZ_FUZZ_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// One-function fuzzing contract for every decoder on the untrusted-bytes
+/// surface (DESIGN.md §12). A target file defines exactly one entry point:
+///
+///   FEDDA_FUZZ_TARGET(RoundStart) {
+///     std::vector<uint8_t> body(data, data + size);
+///     fedda::fl::TransportTask task;
+///     (void)fedda::net::DecodeRoundStart(body, &task);
+///   }
+///
+/// The same file compiles two ways:
+///
+///   * libFuzzer binary (Clang, -DFEDDA_FUZZ=ON): fuzz_harness.cc forwards
+///     LLVMFuzzerTestOneInput to the target, so the coverage-guided engine
+///     plus ASan/UBSan/-fsanitize=integer drives it.
+///   * corpus-replay driver (any compiler, always built): fuzz_harness.cc
+///     provides a main() that runs every file of the checked-in corpus
+///     through the target — registered in ctest as fuzz_corpus_replay_*,
+///     so past crashes are pinned as tier-1 regressions everywhere.
+///
+/// The contract for a target body: feed attacker-controlled bytes to ONE
+/// decoder entry point and never crash — any input must produce either a
+/// successful decode or a clean Status. Aborting CHECKs, sanitizer
+/// reports, and unbounded allocations are the bugs being hunted.
+
+/// Human-readable target name (the replay driver prints it).
+const char* FeddaFuzzTargetName();
+
+/// The target body: one decoder exercise per invocation.
+void FeddaFuzzOne(const uint8_t* data, size_t size);
+
+#define FEDDA_FUZZ_TARGET(Name)                           \
+  const char* FeddaFuzzTargetName() { return #Name; }     \
+  void FeddaFuzzOne(const uint8_t* data, size_t size)
+
+namespace fedda::fuzz {
+
+/// Scratch-file path unique to this process, for file-format decoders
+/// (checkpoint, graph, activation state): the target writes the fuzz input
+/// there and hands the decoder a path. Reused (truncated) across
+/// invocations.
+std::string ScratchPath(const char* tag);
+
+/// Writes `data` to `path`, truncating. Aborts on I/O failure (the scratch
+/// file lives in the build/test tempdir; failing to write it is an
+/// environment error, not a fuzz finding).
+void WriteScratch(const std::string& path, const uint8_t* data, size_t size);
+
+/// Splits `data` at the first `separator` byte into two halves (the
+/// separator itself is consumed). Targets that decode multi-file formats
+/// (e.g. the TSV nodes+edges pair) use it to derive both inputs from one
+/// fuzz buffer. Without a separator the second half is empty.
+std::pair<std::vector<uint8_t>, std::vector<uint8_t>> SplitAt(
+    const uint8_t* data, size_t size, uint8_t separator);
+
+}  // namespace fedda::fuzz
+
+#endif  // FEDDA_TESTS_FUZZ_FUZZ_HARNESS_H_

@@ -1,0 +1,15 @@
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.h"
+#include "tests/fuzz/fuzz_harness.h"
+
+/// Hello and HelloAck share one codec: DecodeHello parses both the
+/// client's opening frame and the server's echo. Any byte string must
+/// decode cleanly or return a Status.
+FEDDA_FUZZ_TARGET(Hello) {
+  const std::vector<uint8_t> body(data, data + size);
+  int client = -1;
+  uint64_t fingerprint = 0;
+  (void)fedda::net::DecodeHello(body, &client, &fingerprint);
+}

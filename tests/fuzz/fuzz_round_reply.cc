@@ -1,0 +1,14 @@
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.h"
+#include "tests/fuzz/fuzz_harness.h"
+
+/// Client -> server round result: loss + nested fl::wire uplink payload.
+/// DecodeRoundReply runs on the server for every reply frame any client
+/// sends — the single most attacker-exposed decoder in a deployment.
+FEDDA_FUZZ_TARGET(RoundReply) {
+  const std::vector<uint8_t> body(data, data + size);
+  fedda::net::RoundReplyMessage message;
+  (void)fedda::net::DecodeRoundReply(body, &message);
+}

@@ -1,0 +1,16 @@
+#include <cstdint>
+#include <vector>
+
+#include "fl/transport.h"
+#include "net/transport.h"
+#include "tests/fuzz/fuzz_harness.h"
+
+/// Server -> client round task: RNG state, FedDA bit-packed mask or FedAvg
+/// selected-group list, and a nested fl::wire sync payload — the richest
+/// codec on the surface. DecodeRoundStart runs on every client process for
+/// every round, on bytes produced by another process.
+FEDDA_FUZZ_TARGET(RoundStart) {
+  const std::vector<uint8_t> body(data, data + size);
+  fedda::fl::TransportTask task;
+  (void)fedda::net::DecodeRoundStart(body, &task);
+}

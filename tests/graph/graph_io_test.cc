@@ -1,10 +1,13 @@
 #include "graph/graph_io.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/binary_io.h"
 #include "data/generator.h"
 #include "data/schema.h"
 
@@ -66,6 +69,72 @@ TEST_F(GraphIoTest, BinaryRejectsGarbage) {
   WriteFile(bin_path_, "garbage data, not a graph");
   HeteroGraph graph;
   EXPECT_FALSE(LoadGraph(bin_path_, &graph).ok());
+}
+
+// A node-type record declaring feature dim = node count = 2^31: the
+// dim * count element total overflows int64 multiplication (UB) and would
+// demand exabytes regardless; the reader must reject the block against the
+// bytes actually in the file before multiplying or allocating.
+TEST_F(GraphIoTest, BinaryRejectsFeatureBlockOverflow) {
+  core::ByteWriter writer;
+  writer.WriteU32(0xF3DDA6F2);  // magic
+  writer.WriteU32(1);           // version
+  writer.WriteU32(1);           // one node type
+  writer.WriteString("paper");
+  writer.WriteI64(int64_t{1} << 31);  // feature dim
+  writer.WriteI64(int64_t{1} << 31);  // node count
+  const std::vector<uint8_t> bytes = writer.Release();
+  {
+    std::ofstream out(bin_path_, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  HeteroGraph graph;
+  const core::Status status = LoadGraph(bin_path_, &graph);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("node feature block exceeds file"),
+            std::string::npos)
+      << status.ToString();
+}
+
+// An edge record whose endpoints are in-range node ids of the wrong types
+// for the declared edge type used to reach the builder's
+// endpoint-consistency FEDDA_CHECK — an abort from file bytes. It must be
+// a Status.
+TEST_F(GraphIoTest, BinaryRejectsEdgeEndpointTypeMismatch) {
+  core::ByteWriter writer;
+  writer.WriteU32(0xF3DDA6F2);  // magic
+  writer.WriteU32(1);           // version
+  writer.WriteU32(2);           // two node types, no features
+  writer.WriteString("a");
+  writer.WriteI64(0);
+  writer.WriteI64(1);
+  writer.WriteString("b");
+  writer.WriteI64(0);
+  writer.WriteI64(1);
+  writer.WriteU32(1);  // one edge type: a -> b
+  writer.WriteString("ab");
+  writer.WriteU32(0);
+  writer.WriteU32(1);
+  writer.WriteI64(2);  // nodes: one of each type
+  writer.WriteU32(0);
+  writer.WriteU32(1);
+  writer.WriteI64(1);  // one edge: b -> a under type a -> b
+  writer.WriteU32(1);
+  writer.WriteU32(0);
+  writer.WriteU32(0);
+  const std::vector<uint8_t> bytes = writer.Release();
+  {
+    std::ofstream out(bin_path_, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  HeteroGraph graph;
+  const core::Status status = LoadGraph(bin_path_, &graph);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("edge endpoints do not match edge type"),
+            std::string::npos)
+      << status.ToString();
 }
 
 TEST_F(GraphIoTest, TsvImportBuildsTypedGraph) {

@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/binary_io.h"
 #include "core/rng.h"
 #include "core/status.h"
 #include "fl/activation.h"
@@ -155,6 +156,48 @@ TEST(TransportCodecTest, TruncatedAndPaddedBodiesRejected) {
     RoundReplyMessage out;
     EXPECT_FALSE(DecodeRoundReply(prefix, &out).ok()) << "len " << len;
   }
+}
+
+// Writes the fixed RoundStart prefix (client, round, RNG state) followed
+// by the algorithm tag, leaving the writer positioned at the
+// count-prefixed block the oversize tests corrupt.
+core::ByteWriter RoundStartPrefix(bool fedda) {
+  core::ByteWriter writer;
+  writer.WriteU32(1);  // client
+  writer.WriteU32(0);  // round
+  for (int i = 0; i < 4; ++i) writer.WriteU64(7);
+  writer.WriteU8(fedda ? 1 : 0);
+  return writer;
+}
+
+// A FedDA task whose wire-supplied unit count is 2^64-1: `(units + 7) / 8`
+// used to wrap to 0, hand UnpackBits an empty block, and abort on its
+// internal size CHECK. The count must be rejected against the bytes
+// actually present, not fed into byte arithmetic.
+TEST(TransportCodecTest, RoundStartRejectsUnitCountOverflow) {
+  core::ByteWriter writer = RoundStartPrefix(/*fedda=*/true);
+  writer.WriteU64(0xFFFFFFFFFFFFFFFFull);
+  fl::TransportTask decoded;
+  const core::Status status = DecodeRoundStart(writer.Release(), &decoded);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("mask unit count exceeds payload"),
+            std::string::npos)
+      << status.ToString();
+}
+
+// A FedAvg task claiming more group ids than the remaining bytes can hold:
+// each id is 4 bytes, so the old `count > body.size()` plausibility check
+// admitted counts up to 4x the payload (and reserved for all of them).
+TEST(TransportCodecTest, RoundStartRejectsOversizeGroupCount) {
+  core::ByteWriter writer = RoundStartPrefix(/*fedda=*/false);
+  writer.WriteU64(64);               // claims 64 ids = 256 bytes...
+  for (int i = 0; i < 70; ++i) writer.WriteU8(0);  // ...over 70 bytes
+  fl::TransportTask decoded;
+  const core::Status status = DecodeRoundStart(writer.Release(), &decoded);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("group count exceeds payload"),
+            std::string::npos)
+      << status.ToString();
 }
 
 // ---- end-to-end loopback -------------------------------------------------

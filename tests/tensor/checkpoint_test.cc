@@ -1,10 +1,13 @@
 #include "tensor/checkpoint.h"
 
 #include <cstdio>
+#include <cstdint>
 #include <fstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/binary_io.h"
 #include "core/rng.h"
 
 namespace fedda::tensor {
@@ -95,6 +98,35 @@ TEST_F(CheckpointTest, RejectsTruncatedFile) {
 
   ParameterStore store;
   EXPECT_FALSE(LoadCheckpoint(path_, &store).ok());
+}
+
+// A header declaring rows = cols = 2^31: the product overflows int64
+// multiplication into UB territory (and would demand exabytes even when it
+// doesn't), so the reader must reject the shape against the bytes actually
+// in the file before computing or allocating anything.
+TEST_F(CheckpointTest, RejectsShapeProductOverflow) {
+  core::ByteWriter writer;
+  writer.WriteU32(0xF3DDA001);  // magic
+  writer.WriteU32(1);           // version
+  writer.WriteU32(1);           // one group
+  writer.WriteString("w0");
+  writer.WriteI64(int64_t{1} << 31);  // rows
+  writer.WriteI64(int64_t{1} << 31);  // cols
+  writer.WriteU32(0);                 // disentangled
+  writer.WriteI64(-1);                // edge_type
+  const std::vector<uint8_t> bytes = writer.Release();
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  ParameterStore store;
+  const core::Status status = LoadCheckpoint(path_, &store);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("tensor block exceeds checkpoint file"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(store.num_groups(), 0);
 }
 
 TEST_F(CheckpointTest, MissingFileFailsCleanly) {

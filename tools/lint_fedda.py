@@ -16,6 +16,14 @@ Repo invariants:
                            the file's path.
   test-unregistered        Every `tests/**/*_test.cc` is registered in a
                            CMakeLists.txt.
+  fuzz-target-missing      Every decoder on the untrusted-bytes surface
+                           (Decode*/Parse*/Deserialize*/Load*/Restore*/
+                           ReadFrame declared in src/net/, fl/wire.h,
+                           fl/activation.h, graph/graph_io.h,
+                           tensor/checkpoint.h, core/flags.h) must be
+                           exercised by a registered FEDDA_FUZZ_TARGET
+                           under tests/fuzz/. New decoders ship with a
+                           fuzz target or not at all (DESIGN.md §12).
 
 Determinism rules (seeded runs must be bit-reproducible — the Table-2/3
 goldens and the destination-grouped parallel kernels depend on it; no
@@ -78,6 +86,26 @@ SERIAL_FN_RE = re.compile(r"\b(?:Save|Write|Serialize|Encode)\w*\s*\(")
 
 RANGE_FOR_RE = re.compile(
     r"\bfor\s*\(.*?:\s*[&*]?([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)\s*\)")
+
+# The untrusted-bytes surface: directories / headers whose decoder
+# declarations the fuzz-target-missing rule inventories. A new parser
+# added here (or a new file in src/net/) is held to "fuzzed or flagged".
+FUZZ_SURFACE = (
+    "src/net",
+    "src/fl/wire.h",
+    "src/fl/activation.h",
+    "src/graph/graph_io.h",
+    "src/tensor/checkpoint.h",
+    "src/core/flags.h",
+)
+# A declaration is a decoder when its name says it turns foreign bytes
+# into structure. ReadFrame is grandfathered by exact name (the framing
+# entry point predates the naming convention).
+DECODER_RE = re.compile(
+    r"\b((?:Decode|Parse|Deserialize|Load|Restore)[A-Za-z0-9_]*|ReadFrame)"
+    r"\s*\(")
+FUZZ_TARGET_MACRO = "FEDDA_FUZZ_TARGET"
+FUZZ_REGISTER_RE = re.compile(r"fedda_add_fuzz_target\(\s*(\w+)\s*\)")
 
 ALLOWLIST_NAME = Path("tools") / "lint_allowlist.txt"
 
@@ -247,6 +275,62 @@ def check_tests_registered(root: Path, errors: list[Violation]) -> None:
                 "is never compiled"))
 
 
+def check_fuzz_targets(root: Path, errors: list[Violation]) -> None:
+    """fuzz-target-missing: every decoder declared on the untrusted-bytes
+    surface must be named in a fuzz-target source that is (a) a
+    FEDDA_FUZZ_TARGET and (b) registered via fedda_add_fuzz_target in
+    tests/fuzz/CMakeLists.txt. Unregistered target sources are flagged too
+    — an unbuilt fuzz target is indistinguishable from no fuzz target."""
+    fuzz_dir = root / "tests" / "fuzz"
+    cmake = fuzz_dir / "CMakeLists.txt"
+    cmake_text = cmake.read_text() if cmake.is_file() else ""
+    registered = set(FUZZ_REGISTER_RE.findall(cmake_text))
+    covered_text = []
+    if fuzz_dir.is_dir():
+        for path in sorted(fuzz_dir.glob("*.cc")):
+            clean = strip_comments_and_strings(path.read_text())
+            if FUZZ_TARGET_MACRO + "(" not in clean:
+                continue
+            name = path.stem
+            name = name[len("fuzz_"):] if name.startswith("fuzz_") else name
+            if name not in registered:
+                errors.append(Violation(
+                    rel_posix(root, path), 0, "fuzz-target-missing",
+                    f"fuzz target source is not registered — add "
+                    f"fedda_add_fuzz_target({name}) to "
+                    "tests/fuzz/CMakeLists.txt; an unbuilt target fuzzes "
+                    "nothing"))
+                continue
+            covered_text.append(clean)
+    fuzz_text = "\n".join(covered_text)
+
+    surface: list[Path] = []
+    for entry in FUZZ_SURFACE:
+        path = root / entry
+        if path.is_dir():
+            surface.extend(sorted(path.rglob("*.h")))
+        elif path.is_file():
+            surface.append(path)
+    for header in surface:
+        clean = strip_comments_and_strings(header.read_text())
+        rel = rel_posix(root, header)
+        reported: set[str] = set()
+        for lineno, line in enumerate(clean.splitlines(), 1):
+            for match in DECODER_RE.finditer(line):
+                name = match.group(1)
+                if name in reported:
+                    continue
+                reported.add(name)
+                if re.search(rf"\b{re.escape(name)}\b", fuzz_text):
+                    continue
+                errors.append(Violation(
+                    rel, lineno, "fuzz-target-missing",
+                    f"decoder `{name}` is on the untrusted-bytes surface "
+                    "but no registered FEDDA_FUZZ_TARGET under tests/fuzz/ "
+                    "exercises it; every byte parser ships with a fuzz "
+                    "target (DESIGN.md §12)"))
+
+
 def check_ambient_entropy(root: Path, errors: list[Violation]) -> None:
     """det-random-device / det-libc-rand / det-time-seed / det-thread-id:
     ambient nondeterminism sources, banned in src/ outside src/obs/ (the
@@ -410,6 +494,7 @@ def run(root: Path, allowlist: Path | None = None) -> list[str]:
     check_exception_free(root, errors)
     check_headers(root, errors)
     check_tests_registered(root, errors)
+    check_fuzz_targets(root, errors)
     check_ambient_entropy(root, errors)
     check_unordered_iteration(root, errors)
     if allowlist is None:

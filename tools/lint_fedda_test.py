@@ -169,6 +169,71 @@ class UnorderedIterationRule(unittest.TestCase):
                 "}\n"}), [])
 
 
+class FuzzTargetRule(unittest.TestCase):
+    HEADER = {
+        "src/net/codec.h":
+            "#ifndef FEDDA_NET_CODEC_H_\n"
+            "#define FEDDA_NET_CODEC_H_\n"
+            "core::Status DecodeFoo(const std::vector<uint8_t>& body);\n"
+            "#endif  // FEDDA_NET_CODEC_H_\n",
+    }
+    TARGET = (
+        "#include \"net/codec.h\"\n"
+        "FEDDA_FUZZ_TARGET(Foo) {\n"
+        "  (void)DecodeFoo(std::vector<uint8_t>(data, data + size));\n"
+        "}\n")
+
+    def test_unfuzzed_decoder_flagged(self):
+        errors = lint(dict(self.HEADER))
+        self.assertEqual(rules_of(errors), {"fuzz-target-missing"})
+        self.assertIn("src/net/codec.h:3", errors[0])
+        self.assertIn("DecodeFoo", errors[0])
+
+    def test_registered_target_satisfies(self):
+        files = dict(self.HEADER)
+        files["tests/fuzz/fuzz_foo.cc"] = self.TARGET
+        files["tests/fuzz/CMakeLists.txt"] = "fedda_add_fuzz_target(foo)\n"
+        self.assertEqual(lint(files), [])
+
+    def test_unregistered_target_source_flagged(self):
+        files = dict(self.HEADER)
+        files["tests/fuzz/fuzz_foo.cc"] = self.TARGET
+        files["tests/fuzz/CMakeLists.txt"] = "# nothing registered\n"
+        errors = lint(files)
+        self.assertEqual(rules_of(errors), {"fuzz-target-missing"})
+        # Both the orphan source and the now-uncovered decoder are flagged.
+        self.assertTrue(
+            any("tests/fuzz/fuzz_foo.cc" in e for e in errors))
+        self.assertTrue(any("DecodeFoo" in e for e in errors))
+
+    def test_mention_in_comment_does_not_count(self):
+        files = dict(self.HEADER)
+        files["tests/fuzz/fuzz_foo.cc"] = (
+            "// DecodeFoo is covered elsewhere, honest\n"
+            "FEDDA_FUZZ_TARGET(Foo) { (void)data; (void)size; }\n")
+        files["tests/fuzz/CMakeLists.txt"] = "fedda_add_fuzz_target(foo)\n"
+        errors = lint(files)
+        self.assertEqual(rules_of(errors), {"fuzz-target-missing"})
+        self.assertIn("DecodeFoo", errors[0])
+
+    def test_surface_is_scoped(self):
+        # Decoder-shaped names outside the surface inventory are not held
+        # to the rule (e.g. dataset loaders that read trusted local files).
+        self.assertEqual(lint({
+            "src/data/loader.h":
+                "#ifndef FEDDA_DATA_LOADER_H_\n"
+                "#define FEDDA_DATA_LOADER_H_\n"
+                "void LoadDataset(const std::string& path);\n"
+                "#endif  // FEDDA_DATA_LOADER_H_\n"}), [])
+
+    def test_allowlist_can_suppress(self):
+        files = dict(self.HEADER)
+        files["tools/lint_allowlist.txt"] = (
+            "fuzz-target-missing src/net/codec.h -- DecodeFoo is a "
+            "fixture in a doc example, not a real decoder\n")
+        self.assertEqual(lint(files), [])
+
+
 class AllowlistMachinery(unittest.TestCase):
     BAD = {"src/fl/bad.cc": "std::random_device rd;\n"}
 
