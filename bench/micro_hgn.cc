@@ -1,11 +1,37 @@
 // Microbenchmarks for Simple-HGN forward/backward and federated rounds.
+// The encode and train-round benchmarks carry a dispatch column: the same
+// workload under forced-scalar kernels (fusion off) and under the
+// best-available SIMD path (fusion on), so the end-to-end win of the
+// dispatched kernel layer is measured where it matters, not just in
+// isolated kernel loops.
 
 #include <benchmark/benchmark.h>
 
 #include "fl/experiment.h"
+#include "tensor/kernels/kernels.h"
 
 namespace fedda::hgn {
 namespace {
+
+namespace k = ::fedda::tensor::kernels;
+
+/// Forces (dispatch mode, fusion) for one benchmark run.
+class ScopedKernelConfig {
+ public:
+  ScopedKernelConfig(k::DispatchMode mode, bool fusion)
+      : saved_mode_(k::dispatch_mode()), saved_fusion_(k::FusionEnabled()) {
+    k::SetDispatchMode(mode);
+    k::SetFusionEnabled(fusion);
+  }
+  ~ScopedKernelConfig() {
+    k::SetDispatchMode(saved_mode_);
+    k::SetFusionEnabled(saved_fusion_);
+  }
+
+ private:
+  k::DispatchMode saved_mode_;
+  bool saved_fusion_;
+};
 
 fl::FederatedSystem* BuildSystem(int clients) {
   fl::SystemConfig config;
@@ -16,7 +42,9 @@ fl::FederatedSystem* BuildSystem(int clients) {
   return new fl::FederatedSystem(fl::FederatedSystem::Build(config));
 }
 
-void BM_EncodeForward(benchmark::State& state) {
+void BM_EncodeForward(benchmark::State& state, k::DispatchMode mode,
+                      bool fusion) {
+  ScopedKernelConfig kernel_config(mode, fusion);
   static fl::FederatedSystem* system = BuildSystem(4);
   tensor::ParameterStore store = system->MakeInitialStore(1);
   const MpStructure mp = system->model().BuildStructure(system->global());
@@ -27,9 +55,14 @@ void BM_EncodeForward(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * system->global().num_edges());
 }
-BENCHMARK(BM_EncodeForward);
+BENCHMARK_CAPTURE(BM_EncodeForward, dispatch_scalar,
+                  k::DispatchMode::kScalar, false);
+BENCHMARK_CAPTURE(BM_EncodeForward, dispatch_auto, k::DispatchMode::kAuto,
+                  true);
 
-void BM_TrainRoundFullBatch(benchmark::State& state) {
+void BM_TrainRoundFullBatch(benchmark::State& state, k::DispatchMode mode,
+                            bool fusion) {
+  ScopedKernelConfig kernel_config(mode, fusion);
   static fl::FederatedSystem* system = BuildSystem(4);
   tensor::ParameterStore store = system->MakeInitialStore(1);
   LinkPredictionTask task(&system->model(), &system->global(),
@@ -43,7 +76,10 @@ void BM_TrainRoundFullBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(system->train_edges().size()));
 }
-BENCHMARK(BM_TrainRoundFullBatch);
+BENCHMARK_CAPTURE(BM_TrainRoundFullBatch, dispatch_scalar,
+                  k::DispatchMode::kScalar, false);
+BENCHMARK_CAPTURE(BM_TrainRoundFullBatch, dispatch_auto,
+                  k::DispatchMode::kAuto, true);
 
 void BM_Evaluate(benchmark::State& state) {
   static fl::FederatedSystem* system = BuildSystem(4);

@@ -1,13 +1,30 @@
-// Microbenchmarks for the tensor/autograd substrate.
+// Microbenchmarks for the tensor/autograd substrate, plus the dispatched
+// kernel speed grid: every kernel × {scalar, auto} dispatch × {1, N}
+// threads, registered under "kernel/..." names. A custom main captures the
+// kernel-grid timings and writes them to bench_results/kernel_speed.json
+// (override with --kernel_json=PATH; CI uploads the file as an artifact so
+// scalar-vs-SIMD speedups are tracked per commit).
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "core/rng.h"
+#include "core/thread_pool.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/parameter_store.h"
 
 namespace fedda::tensor {
 namespace {
+
+namespace k = ::fedda::tensor::kernels;
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -95,7 +112,205 @@ void BM_RowL2Normalize(benchmark::State& state) {
 }
 BENCHMARK(BM_RowL2Normalize)->Arg(4096);
 
+// ---------------------------------------------------------------------------
+// Dispatched kernel speed grid -> bench_results/kernel_speed.json
+// ---------------------------------------------------------------------------
+
+constexpr int kGridThreads = 4;  // the "N-thread" row of the grid
+
+/// Forces one dispatch mode for the duration of a benchmark run.
+class ScopedDispatch {
+ public:
+  explicit ScopedDispatch(k::DispatchMode mode) : saved_(k::dispatch_mode()) {
+    k::SetDispatchMode(mode);
+  }
+  ~ScopedDispatch() { k::SetDispatchMode(saved_); }
+
+ private:
+  k::DispatchMode saved_;
+};
+
+void KernelMatMul(benchmark::State& state, k::DispatchMode mode,
+                  int threads) {
+  ScopedDispatch dispatch(mode);
+  std::unique_ptr<core::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<core::ThreadPool>(threads);
+  const int64_t n = 128;
+  core::Rng rng(11);
+  const Tensor a = Tensor::RandomNormal(n, n, &rng);
+  const Tensor b = Tensor::RandomNormal(n, n, &rng);
+  Tensor out(n, n);
+  for (auto _ : state) {
+    out.Fill(0.0f);
+    k::MatMul(a.data(), b.data(), out.data(), n, n, n, pool.get());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+
+void KernelGather(benchmark::State& state, k::DispatchMode mode,
+                  int threads) {
+  ScopedDispatch dispatch(mode);
+  std::unique_ptr<core::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<core::ThreadPool>(threads);
+  const int64_t rows = 8192, cols = 64, n_idx = 16384;
+  core::Rng rng(12);
+  const Tensor src = Tensor::RandomNormal(rows, cols, &rng);
+  std::vector<int32_t> idx(static_cast<size_t>(n_idx));
+  for (auto& i : idx) {
+    i = static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(rows)));
+  }
+  Tensor out(n_idx, cols);
+  for (auto _ : state) {
+    k::GatherRows(src.data(), idx.data(), n_idx, cols, out.data(),
+                  pool.get());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n_idx * cols);
+}
+
+void KernelSegmentSoftmax(benchmark::State& state, k::DispatchMode mode,
+                          int threads) {
+  ScopedDispatch dispatch(mode);
+  std::unique_ptr<core::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<core::ThreadPool>(threads);
+  const int64_t edges = 32768, nodes = edges / 8;
+  core::Rng rng(13);
+  const Tensor logits = Tensor::RandomNormal(edges, 1, &rng);
+  std::vector<int32_t> seg(static_cast<size_t>(edges));
+  for (auto& s : seg) {
+    s = static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(nodes)));
+  }
+  const k::Csr csr = k::BuildCsr(seg, nodes);
+  Tensor out(edges, 1);
+  for (auto _ : state) {
+    k::SegmentSoftmax(logits.data(), csr, out.data(), pool.get());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+
+void RegisterKernelGrid() {
+  const struct {
+    const char* name;
+    void (*fn)(benchmark::State&, k::DispatchMode, int);
+  } kernels[] = {{"matmul", KernelMatMul},
+                 {"gather", KernelGather},
+                 {"segment_softmax", KernelSegmentSoftmax}};
+  const struct {
+    const char* name;
+    k::DispatchMode mode;
+  } dispatches[] = {{"scalar", k::DispatchMode::kScalar},
+                    {"auto", k::DispatchMode::kAuto}};
+  for (const auto& kernel : kernels) {
+    for (const auto& dispatch : dispatches) {
+      for (int threads : {1, kGridThreads}) {
+        const std::string name = std::string("kernel/") + kernel.name +
+                                 "/dispatch:" + dispatch.name +
+                                 "/threads:" + std::to_string(threads);
+        auto* fn = kernel.fn;
+        const k::DispatchMode mode = dispatch.mode;
+        benchmark::RegisterBenchmark(
+            name.c_str(), [fn, mode, threads](benchmark::State& state) {
+              fn(state, mode, threads);
+            });
+      }
+    }
+  }
+}
+
+/// Console reporter that additionally remembers every "kernel/..." run so
+/// main() can serialize the grid to JSON after the run.
+class KernelGridReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string kernel;
+    std::string dispatch;
+    int threads = 0;
+    double real_time_ns = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      const std::string name = run.benchmark_name();
+      if (name.rfind("kernel/", 0) != 0 || run.error_occurred) continue;
+      Row row;
+      // kernel/<kernel>/dispatch:<mode>/threads:<n>
+      const size_t k_end = name.find('/', 7);
+      const size_t d_pos = name.find("dispatch:");
+      const size_t d_end = name.find('/', d_pos);
+      const size_t t_pos = name.find("threads:");
+      if (k_end == std::string::npos || d_pos == std::string::npos ||
+          d_end == std::string::npos || t_pos == std::string::npos) {
+        continue;
+      }
+      row.kernel = name.substr(7, k_end - 7);
+      row.dispatch = name.substr(d_pos + 9, d_end - d_pos - 9);
+      row.threads = std::stoi(name.substr(t_pos + 8));
+      row.real_time_ns = run.GetAdjustedRealTime();
+      rows_.push_back(std::move(row));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+bool WriteKernelJson(const std::string& path,
+                     const std::vector<KernelGridReporter::Row>& rows) {
+  const std::filesystem::path out_path(path);
+  if (out_path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_path.parent_path(), ec);
+    if (ec) return false;
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "    {\"kernel\": \"" << r.kernel << "\", \"dispatch\": \""
+        << r.dispatch << "\", \"threads\": " << r.threads
+        << ", \"real_time_ns\": " << r.real_time_ns << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
 }  // namespace
 }  // namespace fedda::tensor
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our own flag before google-benchmark sees (and rejects) it.
+  std::string json_path = "bench_results/kernel_speed.json";
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char* kFlag = "--kernel_json=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      json_path = argv[i] + std::strlen(kFlag);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  fedda::tensor::RegisterKernelGrid();
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  fedda::tensor::KernelGridReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!reporter.rows().empty() &&
+      !fedda::tensor::WriteKernelJson(json_path, reporter.rows())) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "core/arena.h"
+
+#include <algorithm>
+#include <new>
+
+#include "core/sanitize.h"
+
+namespace fedda::core {
+
+namespace {
+size_t AlignUp(size_t value, size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+}  // namespace
+
+Arena::Arena(size_t min_block_bytes)
+    : min_block_bytes_(std::max<size_t>(min_block_bytes, kBlockAlign)) {}
+
+Arena::~Arena() {
+  for (Block& block : blocks_) {
+    // Unpoison before returning the memory to the allocator: ASan's
+    // deallocation hooks inspect the region, and leaving someone else's
+    // future allocation poisoned would be a false positive factory.
+    FEDDA_ASAN_UNPOISON(block.data, block.capacity);
+    ::operator delete(block.data, std::align_val_t{kBlockAlign});
+  }
+}
+
+Arena::Block& Arena::AddBlock(size_t min_capacity) {
+  size_t capacity = min_block_bytes_;
+  if (!blocks_.empty()) capacity = blocks_.back().capacity * 2;
+  capacity = std::max(capacity, AlignUp(min_capacity, kBlockAlign));
+  Block block;
+  block.data = static_cast<char*>(
+      ::operator new(capacity, std::align_val_t{kBlockAlign}));
+  block.capacity = capacity;
+  FEDDA_ASAN_POISON(block.data, block.capacity);
+  blocks_.push_back(block);
+  return blocks_.back();
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  FEDDA_CHECK(align > 0 && (align & (align - 1)) == 0)
+      << "alignment must be a power of two";
+  FEDDA_CHECK_LE(align, kBlockAlign);
+  align = std::max(align, kMinAlign);
+  // Find (or create) a block with room, starting at the cursor block so the
+  // scan is O(1) amortized. Blocks before `current_` are full by invariant.
+  while (true) {
+    if (current_ >= blocks_.size()) {
+      AddBlock(bytes);
+      current_ = blocks_.size() - 1;
+    }
+    Block& block = blocks_[current_];
+    const size_t offset = AlignUp(block.used, align);
+    if (offset + bytes <= block.capacity) {
+      block.used = offset + bytes;
+      char* ptr = block.data + offset;
+      FEDDA_ASAN_UNPOISON(ptr, bytes);
+      return ptr;
+    }
+    ++current_;
+  }
+}
+
+void Arena::Reset() {
+  for (Block& block : blocks_) {
+    block.used = 0;
+    FEDDA_ASAN_POISON(block.data, block.capacity);
+  }
+  current_ = 0;
+}
+
+size_t Arena::capacity_bytes() const {
+  size_t total = 0;
+  for (const Block& block : blocks_) total += block.capacity;
+  return total;
+}
+
+}  // namespace fedda::core

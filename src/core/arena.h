@@ -1,0 +1,74 @@
+#ifndef FEDDA_CORE_ARENA_H_
+#define FEDDA_CORE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/check.h"
+
+namespace fedda::core {
+
+/// Bump allocator for tape-lifetime tensor scratch (dropout masks, row
+/// norms, ...). One arena lives per training round; Reset() between batches
+/// rewinds the cursor without releasing the blocks, so steady-state rounds
+/// allocate nothing from the system.
+///
+/// Contracts:
+///  - NOT thread-safe. Allocation happens on the thread that builds the
+///    tape; worker threads only read the returned buffers.
+///  - Every pointer is aligned to at least 32 bytes (AVX2 vector loads).
+///  - Reset() keeps the blocks but ASan-poisons the recycled bytes: a
+///    use-after-reset is an ASan error, not a silent read of stale data
+///    (see core/sanitize.h). The next Allocate unpoisons exactly the bytes
+///    it hands out.
+///  - The arena must outlive every Graph whose ops borrowed scratch from it
+///    (ops.cc backward closures hold raw pointers into the arena).
+class Arena {
+ public:
+  /// Blocks grow geometrically from `min_block_bytes`; oversized requests
+  /// get a dedicated block.
+  explicit Arena(size_t min_block_bytes = 1 << 16);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized storage aligned to `align` (which
+  /// must be a power of two <= kBlockAlign). bytes == 0 yields a valid
+  /// pointer that must not be dereferenced.
+  void* Allocate(size_t bytes, size_t align = kMinAlign);
+
+  /// Typed convenience: `count` default-uninitialized floats.
+  float* AllocateFloats(size_t count) {
+    return static_cast<float*>(Allocate(count * sizeof(float)));
+  }
+
+  /// Rewinds every block to empty, keeping the capacity for reuse. All
+  /// previously returned pointers become invalid (and poisoned under ASan).
+  void Reset();
+
+  /// Total capacity across retained blocks (test/telemetry hook).
+  size_t capacity_bytes() const;
+  size_t num_blocks() const { return blocks_.size(); }
+
+  static constexpr size_t kMinAlign = 32;   // promise to SIMD loads
+  static constexpr size_t kBlockAlign = 64; // block base alignment
+
+ private:
+  struct Block {
+    char* data = nullptr;
+    size_t capacity = 0;
+    size_t used = 0;
+  };
+
+  Block& AddBlock(size_t min_capacity);
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;  // index of the block the cursor lives in
+  size_t min_block_bytes_;
+};
+
+}  // namespace fedda::core
+
+#endif  // FEDDA_CORE_ARENA_H_

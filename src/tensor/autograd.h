@@ -1,12 +1,14 @@
 #ifndef FEDDA_TENSOR_AUTOGRAD_H_
 #define FEDDA_TENSOR_AUTOGRAD_H_
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "tensor/tensor.h"
 
 namespace fedda::core {
+class Arena;
 class ThreadPool;
 }  // namespace fedda::core
 
@@ -24,6 +26,10 @@ struct Var {
   bool valid() const { return id >= 0; }
 };
 
+/// Op identity for the few producers that fusion-aware consumers recognize
+/// (ops.cc). Everything else is kOther.
+enum class OpKind : uint8_t { kOther, kMul, kAddBias };
+
 /// Reverse-mode automatic differentiation over `Tensor` values.
 ///
 /// A `Graph` is a tape: every op (see ops.h) appends a node holding the
@@ -34,13 +40,26 @@ struct Var {
 /// The tape is rebuilt for every forward pass (define-by-run). Constructing
 /// with `training == false` skips storing backward closures so inference
 /// passes cost no extra memory.
+///
+/// Fusion (DESIGN.md §13): when kernels::FusionEnabled() at construction,
+/// `Mul` and `AddBias` append *pending* nodes — shape known, value
+/// unmaterialized, a thunk held instead. A fusion-aware consumer (Add over
+/// a pending Mul; activations over a pending AddBias) computes its forward
+/// in one fused pass from the pending producer's inputs without forcing it,
+/// while keeping the producer on the tape as the gradient router, so the
+/// backward pass is structurally and bit-wise identical to the unfused
+/// graph. Any other consumer transparently forces the producer through
+/// `value()`. Fusion therefore never changes results, only skips
+/// materializing intermediates nobody reads.
 class Graph {
  public:
   /// Backward closure: reads grad(self) and accumulates into the grads of
   /// its input nodes via `mutable_grad`.
   using BackwardFn = std::function<void(Graph*, Var)>;
+  /// Deferred forward computation of a pending node.
+  using ForwardFn = std::function<Tensor()>;
 
-  explicit Graph(bool training = true) : training_(training) {}
+  explicit Graph(bool training = true);
 
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
@@ -61,22 +80,55 @@ class Graph {
   Var AddNode(Tensor value, std::vector<Var> inputs, BackwardFn backward,
               bool requires_grad);
 
+  /// Appends a *pending* op node: shape is (rows x cols) but the value is
+  /// computed by `forward` only when first read through `value()`. Unlike
+  /// AddNode, `inputs` are retained even in inference mode — fusion-aware
+  /// consumers introspect them via `input()`. The backward closure (dropped
+  /// unless training and requires_grad) is the producer's standard one, so
+  /// gradient flow is identical whether or not the value ever materializes.
+  Var AddLazyNode(OpKind op, int64_t rows, int64_t cols, ForwardFn forward,
+                  std::vector<Var> inputs, BackwardFn backward,
+                  bool requires_grad);
+
   /// Runs reverse-mode accumulation from `loss`, which must be 1x1.
   /// May be called once per tape.
   void Backward(Var loss);
 
+  /// Forward value of `v`, materializing a pending node on first read.
   const Tensor& value(Var v) const;
+
+  /// Shape accessors that never force a pending node — fusion-aware
+  /// consumers use these for shape checks.
+  int64_t rows(Var v) const;
+  int64_t cols(Var v) const;
+
+  /// Which recognized op built `v` (kOther for constants, leaves, and
+  /// unrecognized ops).
+  OpKind op_kind(Var v) const;
+
+  /// True while `v`'s value is unmaterialized.
+  bool IsPending(Var v) const;
+
+  /// The i-th input of `v` (bounds-checked). Only meaningful for op nodes;
+  /// pending nodes always retain inputs.
+  Var input(Var v, int i) const;
 
   /// Gradient of node `v`; empty before Backward or for non-grad nodes.
   const Tensor& grad(Var v) const;
 
   /// Gradient slot for accumulation inside backward closures. Allocates
-  /// (zeroed, value-shaped) on first access.
+  /// (zeroed, value-shaped — via the lazy shape for pending nodes) on first
+  /// access.
   Tensor& mutable_grad(Var v);
 
   bool requires_grad(Var v) const;
   bool training() const { return training_; }
   size_t num_nodes() const { return nodes_.size(); }
+
+  /// Whether this tape builds fused/pending ops. Latched from
+  /// kernels::FusionEnabled() at construction so a mid-tape toggle cannot
+  /// produce a half-fused graph.
+  bool fusion_enabled() const { return fusion_; }
 
   /// Optional compute pool consulted by the op kernels (ops.cc) for row-level
   /// parallelism in forward and backward passes. Null means sequential. The
@@ -85,6 +137,13 @@ class Graph {
   /// size. The pool is borrowed, not owned; it must outlive the graph.
   void set_pool(core::ThreadPool* pool) { pool_ = pool; }
   core::ThreadPool* pool() const { return pool_; }
+
+  /// Optional bump arena for tape-lifetime scratch (dropout masks, row
+  /// norms). Null falls back to heap allocations. Borrowed, not owned; the
+  /// arena must outlive the graph and must not be Reset() while the graph
+  /// is alive (backward closures hold raw pointers into it).
+  void set_arena(core::Arena* arena) { arena_ = arena; }
+  core::Arena* arena() const { return arena_; }
 
   /// Optional span sink consulted by the op kernels for per-kernel timing
   /// (matmul, gather-rows, scatter-add-rows, segment-softmax) and by
@@ -95,11 +154,18 @@ class Graph {
 
  private:
   struct Node {
-    Tensor value;
+    // `value`, `forward` and `pending` are mutable so that value() — a
+    // logically-const read — can materialize a pending node in place.
+    mutable Tensor value;
+    mutable ForwardFn forward;  // non-empty only while pending
+    mutable bool pending = false;
     Tensor grad;  // empty until needed
     std::vector<Var> inputs;
     BackwardFn backward;
     Tensor* grad_sink = nullptr;  // leaves only
+    OpKind op = OpKind::kOther;
+    int64_t lazy_rows = 0;  // shape promise while pending
+    int64_t lazy_cols = 0;
     bool requires_grad = false;
   };
 
@@ -114,8 +180,10 @@ class Graph {
 
   std::vector<Node> nodes_;
   bool training_;
+  bool fusion_;
   bool backward_done_ = false;
   core::ThreadPool* pool_ = nullptr;
+  core::Arena* arena_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
 };
 

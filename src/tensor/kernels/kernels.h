@@ -1,0 +1,188 @@
+#ifndef FEDDA_TENSOR_KERNELS_KERNELS_H_
+#define FEDDA_TENSOR_KERNELS_KERNELS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace fedda::core {
+class ThreadPool;
+}  // namespace fedda::core
+
+namespace fedda::tensor::kernels {
+
+/// Runtime-dispatched tensor kernels (DESIGN.md §13).
+///
+/// Every kernel here is *bit-exact across dispatch paths*: the vectorized
+/// implementations only reorganize lane-independent arithmetic (separate
+/// mul and add, never FMA; reductions keep the scalar path's accumulation
+/// order), so scalar, AVX2, and NEON produce byte-identical outputs. The
+/// kernel-equivalence suite (tests/tensor/kernel_equivalence_test.cc)
+/// enforces this for every kernel under every available path × {0,1,4}
+/// threads; the golden-run suite enforces it end to end.
+///
+/// Exp-based kernels (segment-softmax, the sigmoid/tanh/elu fused
+/// forwards) deliberately stay scalar under every path — a vectorized
+/// exp() approximation would change bits.
+
+// ---------------------------------------------------------------------------
+// Dispatch policy
+// ---------------------------------------------------------------------------
+
+/// What the process is asked to run. kAuto resolves to the best path the
+/// CPU and build support. Initialized once from FEDDA_KERNEL_DISPATCH
+/// (scalar|avx2|neon|auto, default auto); tests override programmatically.
+enum class DispatchMode : uint8_t { kAuto, kScalar, kAvx2, kNeon };
+
+/// What actually executes. A mode requesting an unavailable path resolves
+/// to kScalar (graceful, never fatal: the scalar path is always correct).
+enum class Path : uint8_t { kScalar, kAvx2, kNeon };
+
+DispatchMode dispatch_mode();
+void SetDispatchMode(DispatchMode mode);
+/// Parses "scalar"/"avx2"/"neon"/"auto"; anything else (and null) -> kAuto.
+DispatchMode ParseDispatchMode(const char* value);
+
+/// The path the current mode resolves to on this machine.
+Path ActivePath();
+const char* PathName(Path path);
+/// Every path that can actually execute here (kScalar always included).
+std::vector<Path> SupportedPaths();
+/// True when avx2.cc was compiled with -mavx2 AND the CPU reports AVX2.
+bool Avx2Available();
+
+/// Elementwise-chain fusion switch (mul+add, bias+activation) consulted by
+/// Graph at construction. Initialized once from FEDDA_KERNEL_FUSION
+/// ("0"/"off" disables; default on). Fusion never changes bits: fused
+/// forwards compute the identical per-element expression in one pass, and
+/// the backward tape is unchanged.
+bool FusionEnabled();
+void SetFusionEnabled(bool enabled);
+
+// ---------------------------------------------------------------------------
+// CSR grouping for gather / scatter / segment-softmax
+// ---------------------------------------------------------------------------
+
+/// Positions [0, n) grouped by destination row:
+/// `order[offsets[r] .. offsets[r+1])` lists — in increasing position order
+/// — the positions whose destination is row r. Scatter-style accumulations
+/// iterate a destination's contributions in exactly the sequential loop's
+/// order, so grouped execution is bit-identical at any thread count.
+struct Csr {
+  std::vector<int64_t> offsets;  // num_rows + 1 entries
+  std::vector<int32_t> order;    // one entry per position
+};
+
+Csr BuildCsr(const std::vector<int32_t>& rows, int64_t num_rows);
+
+/// Cached BuildCsr keyed on the shared index vector's identity. The
+/// message-passing structure reuses the same shared_ptr<vector> for every
+/// forward pass of every epoch, so a static graph pays the counting-sort
+/// regroup once, not once per op per batch. Entries are validated against
+/// a weak_ptr (address reuse after free rebuilds instead of serving stale
+/// offsets) and expired entries are swept opportunistically, so per-batch
+/// index vectors cannot grow the cache without bound. Thread-safe.
+std::shared_ptr<const Csr> GetCsr(
+    const std::shared_ptr<const std::vector<int32_t>>& ids,
+    int64_t num_rows);
+
+/// Cache telemetry for tests (process-wide, monotonically increasing).
+int64_t CsrCacheHits();
+int64_t CsrCacheMisses();
+
+// ---------------------------------------------------------------------------
+// Dense kernels
+// ---------------------------------------------------------------------------
+// Buffer contracts: `out`/`dst` may alias an input only where the kernel is
+// purely elementwise (lane i reads only index i), which holds for every
+// Ew*/Accumulate*/ScaleInPlace/LeakyRelu kernel. Matmul, bias, gather,
+// scatter and segment kernels require non-overlapping buffers.
+// All kernels tolerate pool == nullptr (inline execution) and n == 0.
+
+/// out (m x n) += a (m x k) * b (k x n); `out` must be zero-initialized by
+/// the caller (the += form lets the backward accumulate in place).
+/// Cache-blocked over output columns with the reduction (kk) innermost in
+/// increasing order, so every out[i,j] accumulates in exactly the reference
+/// order regardless of blocking, vector width, or thread count. Rows whose
+/// A entry is exactly 0.0f are skipped on every path (the historical
+/// sparse-activation fast path; skipping is value-identical only because
+/// every path does it).
+void MatMul(const float* a, const float* b, float* out, int64_t m, int64_t k,
+            int64_t n, core::ThreadPool* pool);
+
+/// out[i] = a[i] * b[i].
+void EwMul(const float* a, const float* b, float* out, int64_t n,
+           core::ThreadPool* pool);
+/// out[i] = a[i] * b[i] + c[i] (separate mul and add — never FMA).
+void EwMulAdd(const float* a, const float* b, const float* c, float* out,
+              int64_t n, core::ThreadPool* pool);
+/// out[i] = a[i] + b[i].
+void EwAdd(const float* a, const float* b, float* out, int64_t n,
+           core::ThreadPool* pool);
+/// out[i] = a[i] - b[i].
+void EwSub(const float* a, const float* b, float* out, int64_t n,
+           core::ThreadPool* pool);
+/// dst[i] += src[i].
+void AccumulateAdd(float* dst, const float* src, int64_t n,
+                   core::ThreadPool* pool);
+/// dst[i] += alpha * src[i].
+void AccumulateAxpy(float* dst, float alpha, const float* src, int64_t n,
+                    core::ThreadPool* pool);
+/// dst[i] += a[i] * b[i].
+void AccumulateMul(float* dst, const float* a, const float* b, int64_t n,
+                   core::ThreadPool* pool);
+/// dst[i] *= alpha.
+void ScaleInPlace(float* dst, float alpha, int64_t n,
+                  core::ThreadPool* pool);
+/// out[i] = a[i] > 0 ? a[i] : slope * a[i] (compare+blend, mirroring the
+/// scalar ternary bit for bit, including negative zero).
+void LeakyRelu(const float* a, float* out, int64_t n, float slope,
+               core::ThreadPool* pool);
+
+/// out[r,c] = x[r,c] + bias[c]; x is (rows x cols), bias is (1 x cols).
+void BiasAdd(const float* x, const float* bias, float* out, int64_t rows,
+             int64_t cols, core::ThreadPool* pool);
+/// Fused bias + leaky-relu: out[r,c] = lrelu(x[r,c] + bias[c]).
+void BiasLeakyRelu(const float* x, const float* bias, float* out,
+                   int64_t rows, int64_t cols, float slope,
+                   core::ThreadPool* pool);
+/// Fused bias + sigmoid / tanh / elu. Scalar on every path (exp-based).
+void BiasSigmoid(const float* x, const float* bias, float* out, int64_t rows,
+                 int64_t cols, core::ThreadPool* pool);
+void BiasTanh(const float* x, const float* bias, float* out, int64_t rows,
+              int64_t cols, core::ThreadPool* pool);
+void BiasElu(const float* x, const float* bias, float* out, int64_t rows,
+             int64_t cols, float alpha, core::ThreadPool* pool);
+
+// ---------------------------------------------------------------------------
+// CSR-native gather / scatter / segment kernels
+// ---------------------------------------------------------------------------
+// Indices must be pre-validated by the caller (ops.cc CHECKs them once).
+
+/// out[i, :] = src[idx[i], :] for i in [0, n_idx).
+void GatherRows(const float* src, const int32_t* idx, int64_t n_idx,
+                int64_t cols, float* out, core::ThreadPool* pool);
+
+/// dst[i, :] += src[idx[i], :] — the backward of ScatterAddRows. Output
+/// positions are independent, so any partition is race-free.
+void AccumulateGatherRows(const float* src, const int32_t* idx,
+                          int64_t n_idx, int64_t cols, float* dst,
+                          core::ThreadPool* pool);
+
+/// out[r, :] += sum over positions p grouped under r (in increasing
+/// position order) of src[p, :]. Serves both the ScatterAddRows forward
+/// (zeroed out) and the GatherRows backward (accumulating grad).
+void ScatterAddRows(const float* src, const Csr& csr, int64_t cols,
+                    float* out, core::ThreadPool* pool);
+
+/// Per-segment max-shifted softmax over a column of logits; out must not
+/// alias logits. Scalar on every path (exp).
+void SegmentSoftmax(const float* logits, const Csr& csr, float* out,
+                    core::ThreadPool* pool);
+/// dl[i] += y[i] * (dy[i] - sum_{j in seg(i)} y[j] dy[j]).
+void SegmentSoftmaxGrad(const float* y, const float* dy, const Csr& csr,
+                        float* dl, core::ThreadPool* pool);
+
+}  // namespace fedda::tensor::kernels
+
+#endif  // FEDDA_TENSOR_KERNELS_KERNELS_H_

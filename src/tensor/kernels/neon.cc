@@ -1,0 +1,71 @@
+// NEON path: a porting stub. AArch64 hosts resolve here (Advanced SIMD is
+// architecturally mandatory), and every function currently forwards to the
+// scalar reference, so the path is correct by construction and already
+// covered by the kernel-equivalence suite. Vector bodies can land
+// per-function later without touching the dispatch layer; they must follow
+// the same bit-exactness rules as avx2.cc (separate mul/add — vmlaq_f32 on
+// AArch64 fuses and is therefore forbidden — fixed reduction order,
+// compare+blend for branches).
+
+#include "tensor/kernels/internal.h"
+
+namespace fedda::tensor::kernels::neon {
+
+void MatMulRows(const float* a, const float* b, float* out, int64_t row_begin,
+                int64_t row_end, int64_t k, int64_t n) {
+  scalar::MatMulRows(a, b, out, row_begin, row_end, k, n);
+}
+void EwMul(const float* a, const float* b, float* out, int64_t begin,
+           int64_t end) {
+  scalar::EwMul(a, b, out, begin, end);
+}
+void EwMulAdd(const float* a, const float* b, const float* c, float* out,
+              int64_t begin, int64_t end) {
+  scalar::EwMulAdd(a, b, c, out, begin, end);
+}
+void EwAdd(const float* a, const float* b, float* out, int64_t begin,
+           int64_t end) {
+  scalar::EwAdd(a, b, out, begin, end);
+}
+void EwSub(const float* a, const float* b, float* out, int64_t begin,
+           int64_t end) {
+  scalar::EwSub(a, b, out, begin, end);
+}
+void AccumulateAdd(float* dst, const float* src, int64_t begin, int64_t end) {
+  scalar::AccumulateAdd(dst, src, begin, end);
+}
+void AccumulateAxpy(float* dst, float alpha, const float* src, int64_t begin,
+                    int64_t end) {
+  scalar::AccumulateAxpy(dst, alpha, src, begin, end);
+}
+void AccumulateMul(float* dst, const float* a, const float* b, int64_t begin,
+                   int64_t end) {
+  scalar::AccumulateMul(dst, a, b, begin, end);
+}
+void Scale(float* dst, float alpha, int64_t begin, int64_t end) {
+  scalar::Scale(dst, alpha, begin, end);
+}
+void LeakyRelu(const float* a, float* out, float slope, int64_t begin,
+               int64_t end) {
+  scalar::LeakyRelu(a, out, slope, begin, end);
+}
+void BiasAddRows(const float* x, const float* bias, float* out,
+                 int64_t row_begin, int64_t row_end, int64_t cols) {
+  scalar::BiasAddRows(x, bias, out, row_begin, row_end, cols);
+}
+void BiasLeakyReluRows(const float* x, const float* bias, float* out,
+                       int64_t row_begin, int64_t row_end, int64_t cols,
+                       float slope) {
+  scalar::BiasLeakyReluRows(x, bias, out, row_begin, row_end, cols, slope);
+}
+void AccumulateGatherRowsRange(const float* src, const int32_t* idx,
+                               int64_t i_begin, int64_t i_end, int64_t cols,
+                               float* dst) {
+  scalar::AccumulateGatherRowsRange(src, idx, i_begin, i_end, cols, dst);
+}
+void ScatterAddRowsRange(const float* src, const Csr& csr, int64_t cols,
+                         float* out, int64_t row_begin, int64_t row_end) {
+  scalar::ScatterAddRowsRange(src, csr, cols, out, row_begin, row_end);
+}
+
+}  // namespace fedda::tensor::kernels::neon

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/arena.h"
 #include "core/thread_pool.h"
 #include "obs/trace.h"
+#include "tensor/kernels/kernels.h"
 
 namespace fedda::tensor {
 
@@ -15,6 +17,16 @@ bool AnyRequiresGrad(const Graph& g, std::initializer_list<Var> vars) {
     if (g.requires_grad(v)) return true;
   }
   return false;
+}
+
+/// True when `v` is a still-unmaterialized producer of `kind` that a
+/// fusion-aware consumer may absorb (reading its inputs instead of its
+/// value). The consumer must keep `v` in its own inputs and leave its
+/// backward untouched — the pending node stays the gradient router, which
+/// is what keeps fused and unfused backward passes bit-identical even when
+/// the producer has other consumers.
+bool FusiblePending(const Graph& g, Var v, OpKind kind) {
+  return g.fusion_enabled() && g.op_kind(v) == kind && g.IsPending(v);
 }
 
 // Scheduling grains: one chunk must carry enough arithmetic to amortize its
@@ -34,35 +46,6 @@ void ParallelChunks(const Graph* g, int64_t n, int64_t grain,
   core::ParallelForRange(g->pool(), n, grain, fn);
 }
 
-/// CSR grouping of positions [0, n) by destination row:
-/// `order[offsets[r] .. offsets[r+1])` lists — in increasing position order —
-/// the positions whose destination is row r. Scatter-style accumulations
-/// parallelize over destination rows with this layout; each destination sums
-/// its contributions in the same order as the sequential loop, so the result
-/// is bit-identical.
-struct RowGroups {
-  std::vector<int64_t> offsets;  // num_rows + 1 entries
-  std::vector<int32_t> order;    // one entry per position
-};
-
-RowGroups GroupByRow(const std::vector<int32_t>& rows, int64_t num_rows) {
-  RowGroups groups;
-  groups.offsets.assign(static_cast<size_t>(num_rows) + 1, 0);
-  for (int32_t r : rows) ++groups.offsets[static_cast<size_t>(r) + 1];
-  for (int64_t r = 0; r < num_rows; ++r) {
-    groups.offsets[static_cast<size_t>(r) + 1] +=
-        groups.offsets[static_cast<size_t>(r)];
-  }
-  groups.order.resize(rows.size());
-  std::vector<int64_t> cursor(groups.offsets.begin(),
-                              groups.offsets.end() - 1);
-  for (size_t i = 0; i < rows.size(); ++i) {
-    groups.order[static_cast<size_t>(
-        cursor[static_cast<size_t>(rows[i])]++)] = static_cast<int32_t>(i);
-  }
-  return groups;
-}
-
 }  // namespace
 
 std::shared_ptr<const std::vector<int32_t>> MakeIndices(
@@ -71,74 +54,105 @@ std::shared_ptr<const std::vector<int32_t>> MakeIndices(
 }
 
 Var Add(Graph* g, Var a, Var b) {
+  FEDDA_CHECK_EQ(g->rows(a), g->rows(b));
+  FEDDA_CHECK_EQ(g->cols(a), g->cols(b));
+  const bool rg = AnyRequiresGrad(*g, {a, b});
+  auto backward = [a, b](Graph* bg, Var self) {
+    const Tensor& dy = bg->grad(self);
+    if (bg->requires_grad(a)) {
+      kernels::AccumulateAdd(bg->mutable_grad(a).data(), dy.data(), dy.size(),
+                             bg->pool());
+    }
+    if (bg->requires_grad(b)) {
+      kernels::AccumulateAdd(bg->mutable_grad(b).data(), dy.data(), dy.size(),
+                             bg->pool());
+    }
+  };
+  // Fuse `a*b + c` into one pass when either operand is an unconsumed Mul.
+  // The pending Mul stays on the tape as the gradient router; only its
+  // forward materialization is skipped. Float addition is bit-commutative
+  // (outside NaN payloads), so mul-operand-second is also safe.
+  Var mul{}, other{};
+  if (FusiblePending(*g, a, OpKind::kMul)) {
+    mul = a;
+    other = b;
+  } else if (FusiblePending(*g, b, OpKind::kMul)) {
+    mul = b;
+    other = a;
+  }
+  if (mul.valid()) {
+    const Tensor& m0 = g->value(g->input(mul, 0));
+    const Tensor& m1 = g->value(g->input(mul, 1));
+    const Tensor& ov = g->value(other);
+    Tensor out(ov.rows(), ov.cols());
+    kernels::EwMulAdd(m0.data(), m1.data(), ov.data(), out.data(), ov.size(),
+                      g->pool());
+    return g->AddNode(std::move(out), {a, b}, std::move(backward), rg);
+  }
   const Tensor& av = g->value(a);
   const Tensor& bv = g->value(b);
-  FEDDA_CHECK(av.SameShape(bv));
-  Tensor out = av;
-  out.Add(bv);
-  const bool rg = AnyRequiresGrad(*g, {a, b});
-  return g->AddNode(std::move(out), {a, b},
-                    [a, b](Graph* bg, Var self) {
-                      const Tensor& dy = bg->grad(self);
-                      if (bg->requires_grad(a)) bg->mutable_grad(a).Add(dy);
-                      if (bg->requires_grad(b)) bg->mutable_grad(b).Add(dy);
-                    },
-                    rg);
+  Tensor out(av.rows(), av.cols());
+  kernels::EwAdd(av.data(), bv.data(), out.data(), av.size(), g->pool());
+  return g->AddNode(std::move(out), {a, b}, std::move(backward), rg);
 }
 
 Var Sub(Graph* g, Var a, Var b) {
   const Tensor& av = g->value(a);
   const Tensor& bv = g->value(b);
   FEDDA_CHECK(av.SameShape(bv));
-  Tensor out = av.Sub(bv);
-  const bool rg = AnyRequiresGrad(*g, {a, b});
-  return g->AddNode(std::move(out), {a, b},
-                    [a, b](Graph* bg, Var self) {
-                      const Tensor& dy = bg->grad(self);
-                      if (bg->requires_grad(a)) bg->mutable_grad(a).Add(dy);
-                      if (bg->requires_grad(b)) bg->mutable_grad(b).Axpy(-1.0f, dy);
-                    },
-                    rg);
-}
-
-Var Mul(Graph* g, Var a, Var b) {
-  const Tensor& av = g->value(a);
-  const Tensor& bv = g->value(b);
-  FEDDA_CHECK(av.SameShape(bv));
   Tensor out(av.rows(), av.cols());
-  ParallelChunks(g, av.size(), kElementGrain,
-                 [&out, &av, &bv](int64_t begin, int64_t end) {
-                   for (int64_t i = begin; i < end; ++i) {
-                     out.data()[i] = av.data()[i] * bv.data()[i];
-                   }
-                 });
+  kernels::EwSub(av.data(), bv.data(), out.data(), av.size(), g->pool());
   const bool rg = AnyRequiresGrad(*g, {a, b});
   return g->AddNode(
       std::move(out), {a, b},
       [a, b](Graph* bg, Var self) {
         const Tensor& dy = bg->grad(self);
         if (bg->requires_grad(a)) {
-          Tensor& da = bg->mutable_grad(a);
-          const Tensor& b_in = bg->value(b);
-          ParallelChunks(bg, dy.size(), kElementGrain,
-                         [&da, &dy, &b_in](int64_t begin, int64_t end) {
-                           for (int64_t i = begin; i < end; ++i) {
-                             da.data()[i] += dy.data()[i] * b_in.data()[i];
-                           }
-                         });
+          kernels::AccumulateAdd(bg->mutable_grad(a).data(), dy.data(),
+                                 dy.size(), bg->pool());
         }
         if (bg->requires_grad(b)) {
-          Tensor& db = bg->mutable_grad(b);
-          const Tensor& a_in = bg->value(a);
-          ParallelChunks(bg, dy.size(), kElementGrain,
-                         [&db, &dy, &a_in](int64_t begin, int64_t end) {
-                           for (int64_t i = begin; i < end; ++i) {
-                             db.data()[i] += dy.data()[i] * a_in.data()[i];
-                           }
-                         });
+          kernels::AccumulateAxpy(bg->mutable_grad(b).data(), -1.0f,
+                                  dy.data(), dy.size(), bg->pool());
         }
       },
       rg);
+}
+
+Var Mul(Graph* g, Var a, Var b) {
+  FEDDA_CHECK_EQ(g->rows(a), g->rows(b));
+  FEDDA_CHECK_EQ(g->cols(a), g->cols(b));
+  const bool rg = AnyRequiresGrad(*g, {a, b});
+  auto backward = [a, b](Graph* bg, Var self) {
+    const Tensor& dy = bg->grad(self);
+    if (bg->requires_grad(a)) {
+      Tensor& da = bg->mutable_grad(a);
+      const Tensor& b_in = bg->value(b);
+      kernels::AccumulateMul(da.data(), dy.data(), b_in.data(), dy.size(),
+                             bg->pool());
+    }
+    if (bg->requires_grad(b)) {
+      Tensor& db = bg->mutable_grad(b);
+      const Tensor& a_in = bg->value(a);
+      kernels::AccumulateMul(db.data(), dy.data(), a_in.data(), dy.size(),
+                             bg->pool());
+    }
+  };
+  auto forward = [g, a, b]() {
+    const Tensor& av = g->value(a);
+    const Tensor& bv = g->value(b);
+    Tensor out(av.rows(), av.cols());
+    kernels::EwMul(av.data(), bv.data(), out.data(), av.size(), g->pool());
+    return out;
+  };
+  if (g->fusion_enabled()) {
+    // Pending: a fusion-aware consumer (Add) can absorb the multiply; any
+    // other reader forces `forward` through Graph::value().
+    return g->AddLazyNode(OpKind::kMul, g->rows(a), g->cols(a),
+                          std::move(forward), {a, b}, std::move(backward),
+                          rg);
+  }
+  return g->AddNode(forward(), {a, b}, std::move(backward), rg);
 }
 
 Var Scale(Graph* g, Var a, float alpha) {
@@ -190,45 +204,57 @@ Var MatMul(Graph* g, Var a, Var b) {
 }
 
 Var AddBias(Graph* g, Var a, Var bias) {
-  const Tensor& av = g->value(a);
-  const Tensor& bv = g->value(bias);
-  FEDDA_CHECK_EQ(bv.rows(), 1);
-  FEDDA_CHECK_EQ(bv.cols(), av.cols());
-  Tensor out = av;
-  for (int64_t r = 0; r < out.rows(); ++r) {
-    for (int64_t c = 0; c < out.cols(); ++c) {
-      out.at(r, c) += bv.at(0, c);
-    }
-  }
+  FEDDA_CHECK_EQ(g->rows(bias), 1);
+  FEDDA_CHECK_EQ(g->cols(bias), g->cols(a));
   const bool rg = AnyRequiresGrad(*g, {a, bias});
-  return g->AddNode(
-      std::move(out), {a, bias},
-      [a, bias](Graph* bg, Var self) {
-        const Tensor& dy = bg->grad(self);
-        if (bg->requires_grad(a)) bg->mutable_grad(a).Add(dy);
-        if (bg->requires_grad(bias)) {
-          Tensor& db = bg->mutable_grad(bias);
-          for (int64_t r = 0; r < dy.rows(); ++r) {
-            for (int64_t c = 0; c < dy.cols(); ++c) {
-              db.at(0, c) += dy.at(r, c);
-            }
-          }
+  auto backward = [a, bias](Graph* bg, Var self) {
+    const Tensor& dy = bg->grad(self);
+    if (bg->requires_grad(a)) {
+      kernels::AccumulateAdd(bg->mutable_grad(a).data(), dy.data(), dy.size(),
+                             bg->pool());
+    }
+    if (bg->requires_grad(bias)) {
+      Tensor& db = bg->mutable_grad(bias);
+      for (int64_t r = 0; r < dy.rows(); ++r) {
+        for (int64_t c = 0; c < dy.cols(); ++c) {
+          db.at(0, c) += dy.at(r, c);
         }
-      },
-      rg);
+      }
+    }
+  };
+  auto forward = [g, a, bias]() {
+    const Tensor& av = g->value(a);
+    const Tensor& bv = g->value(bias);
+    Tensor out(av.rows(), av.cols());
+    kernels::BiasAdd(av.data(), bv.data(), out.data(), av.rows(), av.cols(),
+                     g->pool());
+    return out;
+  };
+  if (g->fusion_enabled()) {
+    // Pending: the activation ops can fold the bias row into their first
+    // pass; any other reader forces `forward` through Graph::value().
+    return g->AddLazyNode(OpKind::kAddBias, g->rows(a), g->cols(a),
+                          std::move(forward), {a, bias}, std::move(backward),
+                          rg);
+  }
+  return g->AddNode(forward(), {a, bias}, std::move(backward), rg);
 }
 
 Var LeakyRelu(Graph* g, Var a, float slope) {
-  const Tensor& av = g->value(a);
-  Tensor out(av.rows(), av.cols());
-  ParallelChunks(g, av.size(), kElementGrain,
-                 [&out, &av, slope](int64_t begin, int64_t end) {
-                   for (int64_t i = begin; i < end; ++i) {
-                     const float x = av.data()[i];
-                     out.data()[i] = x > 0.0f ? x : slope * x;
-                   }
-                 });
   const bool rg = g->requires_grad(a);
+  Tensor out(g->rows(a), g->cols(a));
+  if (FusiblePending(*g, a, OpKind::kAddBias)) {
+    // One fused pass over the AddBias inputs; the pending AddBias keeps
+    // routing gradients (its value materializes lazily in the backward,
+    // which reads value(a) for the slope mask).
+    const Tensor& xv = g->value(g->input(a, 0));
+    const Tensor& bv = g->value(g->input(a, 1));
+    kernels::BiasLeakyRelu(xv.data(), bv.data(), out.data(), xv.rows(),
+                           xv.cols(), slope, g->pool());
+  } else {
+    const Tensor& av = g->value(a);
+    kernels::LeakyRelu(av.data(), out.data(), av.size(), slope, g->pool());
+  }
   return g->AddNode(
       std::move(out), {a},
       [a, slope](Graph* bg, Var self) {
@@ -249,16 +275,24 @@ Var LeakyRelu(Graph* g, Var a, float slope) {
 }
 
 Var Elu(Graph* g, Var a, float alpha) {
-  const Tensor& av = g->value(a);
-  Tensor out(av.rows(), av.cols());
-  ParallelChunks(g, av.size(), kElementGrain,
-                 [&out, &av, alpha](int64_t begin, int64_t end) {
-                   for (int64_t i = begin; i < end; ++i) {
-                     const float x = av.data()[i];
-                     out.data()[i] = x > 0.0f ? x : alpha * (std::exp(x) - 1.0f);
-                   }
-                 });
   const bool rg = g->requires_grad(a);
+  Tensor out(g->rows(a), g->cols(a));
+  if (FusiblePending(*g, a, OpKind::kAddBias)) {
+    const Tensor& xv = g->value(g->input(a, 0));
+    const Tensor& bv = g->value(g->input(a, 1));
+    kernels::BiasElu(xv.data(), bv.data(), out.data(), xv.rows(), xv.cols(),
+                     alpha, g->pool());
+  } else {
+    const Tensor& av = g->value(a);
+    ParallelChunks(g, av.size(), kElementGrain,
+                   [&out, &av, alpha](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) {
+                       const float x = av.data()[i];
+                       out.data()[i] =
+                           x > 0.0f ? x : alpha * (std::exp(x) - 1.0f);
+                     }
+                   });
+  }
   return g->AddNode(
       std::move(out), {a},
       [a, alpha](Graph* bg, Var self) {
@@ -282,15 +316,24 @@ Var Elu(Graph* g, Var a, float alpha) {
 }
 
 Var Sigmoid(Graph* g, Var a) {
-  const Tensor& av = g->value(a);
-  Tensor out(av.rows(), av.cols());
-  ParallelChunks(g, av.size(), kElementGrain,
-                 [&out, &av](int64_t begin, int64_t end) {
-                   for (int64_t i = begin; i < end; ++i) {
-                     out.data()[i] = 1.0f / (1.0f + std::exp(-av.data()[i]));
-                   }
-                 });
   const bool rg = g->requires_grad(a);
+  Tensor out(g->rows(a), g->cols(a));
+  if (FusiblePending(*g, a, OpKind::kAddBias)) {
+    // Full fusion win: sigmoid's backward only reads value(self), so the
+    // AddBias intermediate is never materialized at all.
+    const Tensor& xv = g->value(g->input(a, 0));
+    const Tensor& bv = g->value(g->input(a, 1));
+    kernels::BiasSigmoid(xv.data(), bv.data(), out.data(), xv.rows(),
+                         xv.cols(), g->pool());
+  } else {
+    const Tensor& av = g->value(a);
+    ParallelChunks(g, av.size(), kElementGrain,
+                   [&out, &av](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) {
+                       out.data()[i] = 1.0f / (1.0f + std::exp(-av.data()[i]));
+                     }
+                   });
+  }
   return g->AddNode(
       std::move(out), {a},
       [a](Graph* bg, Var self) {
@@ -310,15 +353,22 @@ Var Sigmoid(Graph* g, Var a) {
 }
 
 Var Tanh(Graph* g, Var a) {
-  const Tensor& av = g->value(a);
-  Tensor out(av.rows(), av.cols());
-  ParallelChunks(g, av.size(), kElementGrain,
-                 [&out, &av](int64_t begin, int64_t end) {
-                   for (int64_t i = begin; i < end; ++i) {
-                     out.data()[i] = std::tanh(av.data()[i]);
-                   }
-                 });
   const bool rg = g->requires_grad(a);
+  Tensor out(g->rows(a), g->cols(a));
+  if (FusiblePending(*g, a, OpKind::kAddBias)) {
+    const Tensor& xv = g->value(g->input(a, 0));
+    const Tensor& bv = g->value(g->input(a, 1));
+    kernels::BiasTanh(xv.data(), bv.data(), out.data(), xv.rows(), xv.cols(),
+                      g->pool());
+  } else {
+    const Tensor& av = g->value(a);
+    ParallelChunks(g, av.size(), kElementGrain,
+                   [&out, &av](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) {
+                       out.data()[i] = std::tanh(av.data()[i]);
+                     }
+                   });
+  }
   return g->AddNode(
       std::move(out), {a},
       [a](Graph* bg, Var self) {
@@ -428,17 +478,13 @@ Var GatherRows(Graph* g, Var a,
   obs::ScopedSpan span(g->tracer(), "gather-rows");
   const Tensor& av = g->value(a);
   const int64_t cols = av.cols();
-  Tensor out(static_cast<int64_t>(indices->size()), cols);
-  ParallelChunks(
-      g, static_cast<int64_t>(indices->size()), RowGrain(cols),
-      [&out, &av, &indices, cols](int64_t begin, int64_t end) {
-        for (int64_t i = begin; i < end; ++i) {
-          const int32_t r = (*indices)[static_cast<size_t>(i)];
-          FEDDA_CHECK(r >= 0 && r < av.rows()) << "gather index out of range";
-          std::copy(av.data() + r * cols, av.data() + (r + 1) * cols,
-                    out.data() + i * cols);
-        }
-      });
+  const int64_t n_idx = static_cast<int64_t>(indices->size());
+  for (int32_t r : *indices) {
+    FEDDA_CHECK(r >= 0 && r < av.rows()) << "gather index out of range";
+  }
+  Tensor out(n_idx, cols);
+  kernels::GatherRows(av.data(), indices->data(), n_idx, cols, out.data(),
+                      g->pool());
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
@@ -446,34 +492,14 @@ Var GatherRows(Graph* g, Var a,
         if (!bg->requires_grad(a)) return;
         const Tensor& dy = bg->grad(self);
         Tensor& da = bg->mutable_grad(a);
-        const int64_t n_cols = dy.cols();
-        if (bg->pool() == nullptr) {
-          for (size_t i = 0; i < indices->size(); ++i) {
-            const int32_t r = (*indices)[i];
-            const float* src = dy.data() + static_cast<int64_t>(i) * n_cols;
-            float* dst = da.data() + r * n_cols;
-            for (int64_t c = 0; c < n_cols; ++c) dst[c] += src[c];
-          }
-          return;
-        }
-        // Scatter-add: partition by destination row so workers never race,
-        // and accumulate each destination's contributions in increasing
-        // position order — the sequential loop's order — for bit-identical
-        // floats.
-        const RowGroups groups = GroupByRow(*indices, da.rows());
-        ParallelChunks(
-            bg, da.rows(), RowGrain(n_cols),
-            [&da, &dy, &groups, n_cols](int64_t begin, int64_t end) {
-              for (int64_t r = begin; r < end; ++r) {
-                float* dst = da.data() + r * n_cols;
-                for (int64_t p = groups.offsets[static_cast<size_t>(r)];
-                     p < groups.offsets[static_cast<size_t>(r) + 1]; ++p) {
-                  const int64_t i = groups.order[static_cast<size_t>(p)];
-                  const float* src = dy.data() + i * n_cols;
-                  for (int64_t c = 0; c < n_cols; ++c) dst[c] += src[c];
-                }
-              }
-            });
+        // Scatter-add via the cached CSR grouping: each destination row
+        // accumulates its contributions in increasing position order — the
+        // sequential loop's order — so the result is bit-identical at any
+        // thread count, and a static graph pays the regroup once per epoch
+        // set, not once per batch.
+        const auto csr = kernels::GetCsr(indices, da.rows());
+        kernels::ScatterAddRows(dy.data(), *csr, dy.cols(), da.data(),
+                                bg->pool());
       },
       rg);
 }
@@ -485,35 +511,12 @@ Var ScatterAddRows(Graph* g, Var a,
   const Tensor& av = g->value(a);
   FEDDA_CHECK_EQ(av.rows(), static_cast<int64_t>(indices->size()));
   const int64_t cols = av.cols();
-  Tensor out(num_rows, cols);
   for (int32_t r : *indices) {
     FEDDA_CHECK(r >= 0 && r < num_rows) << "scatter index out of range";
   }
-  if (g->pool() == nullptr) {
-    for (size_t i = 0; i < indices->size(); ++i) {
-      const int32_t r = (*indices)[i];
-      const float* src = av.data() + static_cast<int64_t>(i) * cols;
-      float* dst = out.data() + r * cols;
-      for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
-    }
-  } else {
-    // Partition by destination row (see GatherRows' backward): race-free and
-    // bit-identical to the sequential accumulation.
-    const RowGroups groups = GroupByRow(*indices, num_rows);
-    ParallelChunks(
-        g, num_rows, RowGrain(cols),
-        [&out, &av, &groups, cols](int64_t begin, int64_t end) {
-          for (int64_t r = begin; r < end; ++r) {
-            float* dst = out.data() + r * cols;
-            for (int64_t p = groups.offsets[static_cast<size_t>(r)];
-                 p < groups.offsets[static_cast<size_t>(r) + 1]; ++p) {
-              const int64_t i = groups.order[static_cast<size_t>(p)];
-              const float* src = av.data() + i * cols;
-              for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
-            }
-          }
-        });
-  }
+  Tensor out(num_rows, cols);
+  const auto csr = kernels::GetCsr(indices, num_rows);
+  kernels::ScatterAddRows(av.data(), *csr, cols, out.data(), g->pool());
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
@@ -521,19 +524,12 @@ Var ScatterAddRows(Graph* g, Var a,
         if (!bg->requires_grad(a)) return;
         const Tensor& dy = bg->grad(self);
         Tensor& da = bg->mutable_grad(a);
-        const int64_t n_cols = dy.cols();
         // Backward of scatter-add is a gather: output positions are
         // independent, so chunking over them is race-free.
-        ParallelChunks(
-            bg, static_cast<int64_t>(indices->size()), RowGrain(n_cols),
-            [&da, &dy, &indices, n_cols](int64_t begin, int64_t end) {
-              for (int64_t i = begin; i < end; ++i) {
-                const int32_t r = (*indices)[static_cast<size_t>(i)];
-                const float* src = dy.data() + r * n_cols;
-                float* dst = da.data() + i * n_cols;
-                for (int64_t c = 0; c < n_cols; ++c) dst[c] += src[c];
-              }
-            });
+        kernels::AccumulateGatherRows(
+            dy.data(), indices->data(),
+            static_cast<int64_t>(indices->size()), dy.cols(), da.data(),
+            bg->pool());
       },
       rg);
 }
@@ -550,53 +546,11 @@ Var SegmentSoftmax(Graph* g, Var logits,
     FEDDA_CHECK(s >= 0 && s < num_segments) << "segment id out of range";
   }
   Tensor out(lv.rows(), 1);
-  if (g->pool() == nullptr) {
-    // Numerically stable: shift each segment by its max.
-    std::vector<float> seg_max(static_cast<size_t>(num_segments),
-                               -std::numeric_limits<float>::infinity());
-    for (size_t i = 0; i < segment_ids->size(); ++i) {
-      const int32_t s = (*segment_ids)[i];
-      seg_max[s] = std::max(seg_max[s], lv.data()[i]);
-    }
-    std::vector<float> seg_sum(static_cast<size_t>(num_segments), 0.0f);
-    for (size_t i = 0; i < segment_ids->size(); ++i) {
-      const int32_t s = (*segment_ids)[i];
-      const float e = std::exp(lv.data()[i] - seg_max[s]);
-      out.data()[i] = e;
-      seg_sum[s] += e;
-    }
-    for (size_t i = 0; i < segment_ids->size(); ++i) {
-      const int32_t s = (*segment_ids)[i];
-      out.data()[i] /= seg_sum[s];
-    }
-  } else {
-    // Partition by segment: each segment's max/sum accumulate over members
-    // in increasing position order, exactly as the sequential path.
-    const RowGroups groups = GroupByRow(*segment_ids, num_segments);
-    ParallelChunks(
-        g, num_segments, /*grain=*/16,
-        [&out, &lv, &groups](int64_t begin, int64_t end) {
-          for (int64_t s = begin; s < end; ++s) {
-            const int64_t lo = groups.offsets[static_cast<size_t>(s)];
-            const int64_t hi = groups.offsets[static_cast<size_t>(s) + 1];
-            float seg_max = -std::numeric_limits<float>::infinity();
-            for (int64_t p = lo; p < hi; ++p) {
-              seg_max = std::max(
-                  seg_max, lv.data()[groups.order[static_cast<size_t>(p)]]);
-            }
-            float seg_sum = 0.0f;
-            for (int64_t p = lo; p < hi; ++p) {
-              const int64_t i = groups.order[static_cast<size_t>(p)];
-              const float e = std::exp(lv.data()[i] - seg_max);
-              out.data()[i] = e;
-              seg_sum += e;
-            }
-            for (int64_t p = lo; p < hi; ++p) {
-              out.data()[groups.order[static_cast<size_t>(p)]] /= seg_sum;
-            }
-          }
-        });
-  }
+  // CSR-native: each segment's max/sum accumulate over members in
+  // increasing position order, exactly as the historical sequential loop,
+  // and the grouping itself is cached across batches for static graphs.
+  const auto csr = kernels::GetCsr(segment_ids, num_segments);
+  kernels::SegmentSoftmax(lv.data(), *csr, out.data(), g->pool());
 
   const bool rg = g->requires_grad(logits);
   return g->AddNode(
@@ -606,36 +560,9 @@ Var SegmentSoftmax(Graph* g, Var logits,
         const Tensor& dy = bg->grad(self);
         const Tensor& yv = bg->value(self);
         Tensor& dl = bg->mutable_grad(logits);
-        // d l_i = y_i * (dy_i - sum_{j in seg(i)} y_j dy_j)
-        if (bg->pool() == nullptr) {
-          std::vector<float> seg_dot(static_cast<size_t>(num_segments), 0.0f);
-          for (size_t i = 0; i < segment_ids->size(); ++i) {
-            seg_dot[(*segment_ids)[i]] += yv.data()[i] * dy.data()[i];
-          }
-          for (size_t i = 0; i < segment_ids->size(); ++i) {
-            const int32_t s = (*segment_ids)[i];
-            dl.data()[i] += yv.data()[i] * (dy.data()[i] - seg_dot[s]);
-          }
-          return;
-        }
-        const RowGroups groups = GroupByRow(*segment_ids, num_segments);
-        ParallelChunks(
-            bg, num_segments, /*grain=*/16,
-            [&dl, &dy, &yv, &groups](int64_t begin, int64_t end) {
-              for (int64_t s = begin; s < end; ++s) {
-                const int64_t lo = groups.offsets[static_cast<size_t>(s)];
-                const int64_t hi = groups.offsets[static_cast<size_t>(s) + 1];
-                float seg_dot = 0.0f;
-                for (int64_t p = lo; p < hi; ++p) {
-                  const int64_t i = groups.order[static_cast<size_t>(p)];
-                  seg_dot += yv.data()[i] * dy.data()[i];
-                }
-                for (int64_t p = lo; p < hi; ++p) {
-                  const int64_t i = groups.order[static_cast<size_t>(p)];
-                  dl.data()[i] += yv.data()[i] * (dy.data()[i] - seg_dot);
-                }
-              }
-            });
+        const auto csr = kernels::GetCsr(segment_ids, num_segments);
+        kernels::SegmentSoftmaxGrad(yv.data(), dy.data(), *csr, dl.data(),
+                                    bg->pool());
       },
       rg);
 }
@@ -724,11 +651,22 @@ Var RowL2Normalize(Graph* g, Var a, float eps) {
   const Tensor& av = g->value(a);
   const int64_t rows = av.rows(), cols = av.cols();
   Tensor out(rows, cols);
-  auto norms = std::make_shared<std::vector<float>>(
-      static_cast<size_t>(rows), 0.0f);
+  // Per-row norms are tape-lifetime scratch: borrow from the graph's arena
+  // when one is attached (recycled across batches via Arena::Reset), heap
+  // otherwise. `norms_keep` owns the heap fallback; the raw pointer is what
+  // both closures use, so the two storage modes compute identical bits.
+  float* norms = nullptr;
+  std::shared_ptr<std::vector<float>> norms_keep;
+  if (g->arena() != nullptr) {
+    norms = g->arena()->AllocateFloats(static_cast<size_t>(rows));
+  } else {
+    norms_keep =
+        std::make_shared<std::vector<float>>(static_cast<size_t>(rows), 0.0f);
+    norms = norms_keep->data();
+  }
   ParallelChunks(
       g, rows, RowGrain(cols),
-      [&out, &av, &norms, cols, eps](int64_t begin, int64_t end) {
+      [&out, &av, norms, cols, eps](int64_t begin, int64_t end) {
         for (int64_t r = begin; r < end; ++r) {
           double sq = 0.0;
           for (int64_t c = 0; c < cols; ++c) {
@@ -736,14 +674,14 @@ Var RowL2Normalize(Graph* g, Var a, float eps) {
             sq += static_cast<double>(x) * x;
           }
           const float n = std::max(static_cast<float>(std::sqrt(sq)), eps);
-          (*norms)[static_cast<size_t>(r)] = n;
+          norms[r] = n;
           for (int64_t c = 0; c < cols; ++c) out.at(r, c) = av.at(r, c) / n;
         }
       });
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
-      [a, norms](Graph* bg, Var self) {
+      [a, norms, norms_keep](Graph* bg, Var self) {
         if (!bg->requires_grad(a)) return;
         const Tensor& dy = bg->grad(self);
         const Tensor& yv = bg->value(self);
@@ -751,14 +689,14 @@ Var RowL2Normalize(Graph* g, Var a, float eps) {
         const int64_t n_rows = dy.rows(), n_cols = dy.cols();
         ParallelChunks(
             bg, n_rows, RowGrain(n_cols),
-            [&da, &dy, &yv, &norms, n_cols](int64_t begin, int64_t end) {
+            [&da, &dy, &yv, norms, n_cols](int64_t begin, int64_t end) {
               for (int64_t r = begin; r < end; ++r) {
                 // da_r = (dy_r - y_r * (y_r . dy_r)) / ||a_r||
                 float dot = 0.0f;
                 for (int64_t c = 0; c < n_cols; ++c) {
                   dot += yv.at(r, c) * dy.at(r, c);
                 }
-                const float inv_n = 1.0f / (*norms)[static_cast<size_t>(r)];
+                const float inv_n = 1.0f / norms[r];
                 for (int64_t c = 0; c < n_cols; ++c) {
                   da.at(r, c) += (dy.at(r, c) - yv.at(r, c) * dot) * inv_n;
                 }
@@ -945,23 +883,33 @@ Var Dropout(Graph* g, Var a, float p, core::Rng* rng) {
   FEDDA_CHECK(rng != nullptr);
   const Tensor& av = g->value(a);
   const float keep = 1.0f - p;
-  auto mask = std::make_shared<Tensor>(av.rows(), av.cols());
+  // The mask is tape-lifetime scratch: arena-backed when available (see
+  // RowL2Normalize). The mask draw stays a single sequential loop so the
+  // rng consumption order is independent of storage mode and threading.
+  float* mask = nullptr;
+  std::shared_ptr<std::vector<float>> mask_keep;
+  if (g->arena() != nullptr) {
+    mask = g->arena()->AllocateFloats(static_cast<size_t>(av.size()));
+  } else {
+    mask_keep = std::make_shared<std::vector<float>>(
+        static_cast<size_t>(av.size()), 0.0f);
+    mask = mask_keep->data();
+  }
   Tensor out(av.rows(), av.cols());
   for (int64_t i = 0; i < av.size(); ++i) {
     const float m = rng->Bernoulli(keep) ? 1.0f / keep : 0.0f;
-    mask->data()[i] = m;
+    mask[i] = m;
     out.data()[i] = m * av.data()[i];
   }
   const bool rg = g->requires_grad(a);
   return g->AddNode(
       std::move(out), {a},
-      [a, mask](Graph* bg, Var self) {
+      [a, mask, mask_keep](Graph* bg, Var self) {
         if (!bg->requires_grad(a)) return;
         const Tensor& dy = bg->grad(self);
         Tensor& da = bg->mutable_grad(a);
-        for (int64_t i = 0; i < dy.size(); ++i) {
-          da.data()[i] += dy.data()[i] * mask->data()[i];
-        }
+        kernels::AccumulateMul(da.data(), dy.data(), mask, dy.size(),
+                               bg->pool());
       },
       rg);
 }

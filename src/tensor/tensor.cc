@@ -5,6 +5,7 @@
 
 #include "core/string_util.h"
 #include "core/thread_pool.h"
+#include "tensor/kernels/kernels.h"
 
 namespace fedda::tensor {
 
@@ -73,28 +74,30 @@ void Tensor::Fill(float value) {
   for (auto& v : data_) v = value;
 }
 
+// The in-place arithmetic below routes through the dispatched kernels (no
+// pool: these run on whatever thread owns the tensor, including the server
+// aggregation hot path where SIMD is the whole win).
+
 void Tensor::Add(const Tensor& other) {
   FEDDA_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  kernels::AccumulateAdd(data_.data(), other.data_.data(), size(), nullptr);
 }
 
 void Tensor::Axpy(float alpha, const Tensor& other) {
   FEDDA_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += alpha * other.data_[i];
-  }
+  kernels::AccumulateAxpy(data_.data(), alpha, other.data_.data(), size(),
+                          nullptr);
 }
 
 void Tensor::Scale(float alpha) {
-  for (auto& v : data_) v *= alpha;
+  kernels::ScaleInPlace(data_.data(), alpha, size(), nullptr);
 }
 
 Tensor Tensor::Sub(const Tensor& other) const {
   FEDDA_CHECK(SameShape(other));
   Tensor out(rows_, cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    out.data_[i] = data_[i] - other.data_[i];
-  }
+  kernels::EwSub(data_.data(), other.data_.data(), out.data_.data(), size(),
+                 nullptr);
   return out;
 }
 
@@ -172,28 +175,8 @@ std::string Tensor::ToString() const {
 Tensor MatMulValue(const Tensor& a, const Tensor& b, core::ThreadPool* pool) {
   FEDDA_CHECK_EQ(a.cols(), b.rows());
   Tensor out(a.rows(), b.cols());
-  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* od = out.data();
-  // Output rows are independent, so parallelizing over them preserves each
-  // row's accumulation order exactly. Grain sized so a chunk carries at
-  // least ~16k multiply-adds, amortizing scheduling overhead.
-  const int64_t grain =
-      std::max<int64_t>(1, 16384 / std::max<int64_t>(1, k * n));
-  core::ParallelForRange(pool, m, grain, [=](int64_t row_begin,
-                                             int64_t row_end) {
-    // i-k-j loop order: streams through B rows, cache-friendly for row-major.
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float aval = ad[i * k + kk];
-        if (aval == 0.0f) continue;
-        const float* brow = bd + kk * n;
-        float* orow = od + i * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += aval * brow[j];
-      }
-    }
-  });
+  kernels::MatMul(a.data(), b.data(), out.data(), a.rows(), a.cols(),
+                  b.cols(), pool);
   return out;
 }
 

@@ -19,6 +19,7 @@
 
 #include "core/string_util.h"
 #include "fl/experiment.h"
+#include "tensor/kernels/kernels.h"
 
 namespace fedda::fl {
 namespace {
@@ -168,6 +169,68 @@ TEST(GoldenRunTest, RerunIsBitIdentical) {
     EXPECT_EQ(GoldenDouble(a.history[i].auc), GoldenDouble(b.history[i].auc));
     EXPECT_EQ(a.history[i].participants, b.history[i].participants);
   }
+}
+
+// The kernel dispatch layer promises that SIMD and op fusion never change
+// bits (DESIGN.md §13). Hold it to that end to end: the forced-scalar,
+// fusion-off run and the best-available, fusion-on run must produce the
+// same %.17g history, byte counts, and participant schedule. The pinned
+// tests above already run under whatever mode the environment selects;
+// this one forces both extremes in-process so a drifting vector kernel
+// cannot slip through on a machine where auto happens to resolve to scalar.
+TEST(GoldenRunTest, KernelDispatchAndFusionAreBitNeutral) {
+  const FederatedSystem system = FederatedSystem::Build(GoldenSystemConfig());
+  const FlOptions options = GoldenOptions(FlAlgorithm::kFedDaRestart);
+
+  namespace k = tensor::kernels;
+  const k::DispatchMode saved_mode = k::dispatch_mode();
+  const bool saved_fusion = k::FusionEnabled();
+
+  k::SetDispatchMode(k::DispatchMode::kScalar);
+  k::SetFusionEnabled(false);
+  const FlRunResult scalar_run = RunFederated(system, options, kRunSeed);
+
+  k::SetDispatchMode(k::DispatchMode::kAuto);
+  k::SetFusionEnabled(true);
+  const FlRunResult simd_run = RunFederated(system, options, kRunSeed);
+
+  k::SetDispatchMode(saved_mode);
+  k::SetFusionEnabled(saved_fusion);
+
+  EXPECT_EQ(GoldenDouble(scalar_run.final_auc),
+            GoldenDouble(simd_run.final_auc));
+  EXPECT_EQ(GoldenDouble(scalar_run.final_mrr),
+            GoldenDouble(simd_run.final_mrr));
+  EXPECT_EQ(scalar_run.total_uplink_scalars, simd_run.total_uplink_scalars);
+  EXPECT_EQ(scalar_run.total_uplink_bytes, simd_run.total_uplink_bytes);
+  EXPECT_EQ(scalar_run.total_downlink_scalars,
+            simd_run.total_downlink_scalars);
+  EXPECT_EQ(scalar_run.total_downlink_bytes, simd_run.total_downlink_bytes);
+  ASSERT_EQ(scalar_run.history.size(), simd_run.history.size());
+  for (size_t i = 0; i < scalar_run.history.size(); ++i) {
+    EXPECT_EQ(GoldenDouble(scalar_run.history[i].auc),
+              GoldenDouble(simd_run.history[i].auc))
+        << "round " << i;
+    EXPECT_EQ(scalar_run.history[i].participants,
+              simd_run.history[i].participants)
+        << "round " << i;
+  }
+
+  // And the scalar extreme still reproduces the pinned golden, so this
+  // test cannot drift away from the arrays above.
+  const Golden golden{
+      /*final_auc=*/"0.51123046875",
+      /*final_mrr=*/"0.41119791666666694",
+      /*total_uplink_scalars=*/27640,
+      /*total_uplink_bytes=*/117642,
+      /*total_downlink_scalars=*/27640,
+      /*total_downlink_bytes=*/117642,
+      /*round_auc=*/{"0.47296142578125", "0.52227783203125",
+                     "0.5264892578125", "0.50677490234375",
+                     "0.51123046875"},
+      /*participants=*/{4, 4, 3, 4, 3},
+  };
+  CheckOrRegen("KernelDispatchAndFusionAreBitNeutral", scalar_run, golden);
 }
 
 }  // namespace

@@ -1,8 +1,12 @@
 // Central-difference gradient checks for every differentiable op in
 // tensor/ops.cc, plus one end-to-end Simple-HGN layer checked through the
-// ParameterStore. The op checks are tolerance-parameterized: the whole
-// suite runs once per (eps, tolerance, seed) configuration, so a backward
-// formula that only "passes" at one perturbation size is still caught.
+// ParameterStore. The op checks are parameterized twice over: each
+// (eps, tolerance, seed) configuration catches backward formulas that only
+// "pass" at one perturbation size, and each (dispatch, fusion)
+// configuration runs the same battery through the forced-scalar kernels,
+// the best-available SIMD path, and the fused-op graph builder — so a
+// vector kernel or fusion rule with a wrong backward cannot hide behind
+// the default configuration.
 
 #include <cmath>
 #include <memory>
@@ -13,6 +17,7 @@
 #include "data/generator.h"
 #include "data/schema.h"
 #include "hgn/simple_hgn.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/parameter_store.h"
 #include "tests/tensor/grad_check.h"
@@ -26,10 +31,24 @@ struct GradParams {
   float eps;
   float tolerance;
   uint64_t seed;
+  const char* dispatch = "auto";  // forwarded to kernels::ParseDispatchMode
+  bool fusion = true;             // lazy/fused graph building on or off
 };
 
 class OpsGradCheck : public ::testing::TestWithParam<GradParams> {
  protected:
+  void SetUp() override {
+    saved_mode_ = kernels::dispatch_mode();
+    saved_fusion_ = kernels::FusionEnabled();
+    kernels::SetDispatchMode(
+        kernels::ParseDispatchMode(GetParam().dispatch));
+    kernels::SetFusionEnabled(GetParam().fusion);
+  }
+  void TearDown() override {
+    kernels::SetDispatchMode(saved_mode_);
+    kernels::SetFusionEnabled(saved_fusion_);
+  }
+
   float eps() const { return GetParam().eps; }
   float tol() const { return GetParam().tolerance; }
   core::Rng MakeRng() const { return core::Rng(GetParam().seed); }
@@ -38,12 +57,25 @@ class OpsGradCheck : public ::testing::TestWithParam<GradParams> {
              const testing::LossBuilder& build) const {
     CheckGradients(inputs, build, eps(), tol());
   }
+
+ private:
+  kernels::DispatchMode saved_mode_ = kernels::DispatchMode::kAuto;
+  bool saved_fusion_ = true;
 };
 
 INSTANTIATE_TEST_SUITE_P(
     Tolerances, OpsGradCheck,
     ::testing::Values(GradParams{1e-2f, 2e-2f, 7},
                       GradParams{5e-3f, 2.5e-2f, 1234}));
+
+// The same battery across the kernel-dispatch × fusion grid: forced scalar
+// with and without fusion, and the best-available SIMD path without fusion
+// (the default instantiation above already covers auto + fusion).
+INSTANTIATE_TEST_SUITE_P(
+    DispatchAndFusion, OpsGradCheck,
+    ::testing::Values(GradParams{1e-2f, 2e-2f, 7, "scalar", false},
+                      GradParams{1e-2f, 2e-2f, 7, "scalar", true},
+                      GradParams{1e-2f, 2e-2f, 7, "auto", false}));
 
 TEST_P(OpsGradCheck, AddSubMulScaleAddScalar) {
   core::Rng rng = MakeRng();

@@ -1,0 +1,165 @@
+// Randomized kernel-equivalence properties: for every supported dispatch
+// path, random shapes and random seeds must reproduce the scalar reference
+// bit for bit. Complements kernel_equivalence_test.cc's fixed adversarial
+// battery with breadth — each iteration forces a different tail residue
+// (n mod 8 cycles through 0..7) so no vector-width remainder goes untested.
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "gtest/gtest.h"
+#include "tensor/kernels/kernels.h"
+
+namespace fedda::tensor {
+namespace {
+
+namespace k = ::fedda::tensor::kernels;
+
+k::DispatchMode ModeFor(k::Path path) {
+  switch (path) {
+    case k::Path::kScalar:
+      return k::DispatchMode::kScalar;
+    case k::Path::kAvx2:
+      return k::DispatchMode::kAvx2;
+    case k::Path::kNeon:
+      return k::DispatchMode::kNeon;
+  }
+  return k::DispatchMode::kScalar;
+}
+
+std::vector<float> RandomData(int64_t n, core::Rng* rng) {
+  std::vector<float> out(static_cast<size_t>(n));
+  for (auto& v : out) {
+    const double roll = rng->Uniform();
+    v = roll < 0.1 ? 0.0f : static_cast<float>(rng->Uniform(-4.0, 4.0));
+  }
+  return out;
+}
+
+bool BitEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(),
+                                   a.size() * sizeof(float)) == 0);
+}
+
+class KernelPropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = k::dispatch_mode(); }
+  void TearDown() override { k::SetDispatchMode(saved_); }
+
+  /// Checks `make_output` under every supported path × {inline, 4 threads}
+  /// against the scalar inline reference.
+  template <typename Fn>
+  void CheckAllPaths(const std::string& what, Fn&& make_output) {
+    k::SetDispatchMode(k::DispatchMode::kScalar);
+    const std::vector<float> expected = make_output(nullptr);
+    core::ThreadPool pool(4);
+    for (k::Path path : k::SupportedPaths()) {
+      k::SetDispatchMode(ModeFor(path));
+      ASSERT_TRUE(BitEqual(expected, make_output(nullptr)))
+          << what << " diverged on " << k::PathName(path) << " (inline)";
+      ASSERT_TRUE(BitEqual(expected, make_output(&pool)))
+          << what << " diverged on " << k::PathName(path) << " (4 threads)";
+    }
+  }
+
+ private:
+  k::DispatchMode saved_ = k::DispatchMode::kAuto;
+};
+
+TEST_F(KernelPropertyTest, RandomizedElementwise) {
+  core::Rng rng(2024);
+  for (int iter = 0; iter < 24; ++iter) {
+    // Force the tail residue to cycle 0..7 so every remainder is hit.
+    const int64_t n =
+        8 * static_cast<int64_t>(rng.UniformInt(uint64_t{12})) + (iter % 8);
+    const std::vector<float> a = RandomData(n, &rng);
+    const std::vector<float> b = RandomData(n, &rng);
+    const std::vector<float> c = RandomData(n, &rng);
+    const float alpha = static_cast<float>(rng.Uniform(-2.0, 2.0));
+    const std::string tag = "iter " + std::to_string(iter) + " n=" +
+                            std::to_string(n);
+    CheckAllPaths("ewmuladd " + tag, [&](core::ThreadPool* p) {
+      std::vector<float> out(a.size());
+      k::EwMulAdd(a.data(), b.data(), c.data(), out.data(), n, p);
+      return out;
+    });
+    CheckAllPaths("axpy " + tag, [&](core::ThreadPool* p) {
+      std::vector<float> dst = c;
+      k::AccumulateAxpy(dst.data(), alpha, a.data(), n, p);
+      return dst;
+    });
+    CheckAllPaths("leaky-relu " + tag, [&](core::ThreadPool* p) {
+      std::vector<float> out(a.size());
+      k::LeakyRelu(a.data(), out.data(), n, alpha, p);
+      return out;
+    });
+  }
+}
+
+TEST_F(KernelPropertyTest, RandomizedMatMul) {
+  core::Rng rng(31337);
+  for (int iter = 0; iter < 16; ++iter) {
+    const int64_t m = 1 + static_cast<int64_t>(rng.UniformInt(uint64_t{6}));
+    const int64_t kd = 1 + static_cast<int64_t>(rng.UniformInt(uint64_t{40}));
+    // Straddle the 64-column register block and force tail residues.
+    const int64_t n =
+        1 + 8 * static_cast<int64_t>(rng.UniformInt(uint64_t{12})) +
+        (iter % 8);
+    const std::vector<float> a = RandomData(m * kd, &rng);
+    const std::vector<float> b = RandomData(kd * n, &rng);
+    CheckAllPaths("matmul " + std::to_string(m) + "x" + std::to_string(kd) +
+                      "x" + std::to_string(n),
+                  [&](core::ThreadPool* p) {
+                    std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
+                    k::MatMul(a.data(), b.data(), out.data(), m, kd, n, p);
+                    return out;
+                  });
+  }
+}
+
+TEST_F(KernelPropertyTest, RandomizedBiasAndScatter) {
+  core::Rng rng(555);
+  for (int iter = 0; iter < 12; ++iter) {
+    const int64_t rows = 1 + static_cast<int64_t>(rng.UniformInt(uint64_t{7}));
+    const int64_t cols =
+        1 + 8 * static_cast<int64_t>(rng.UniformInt(uint64_t{10})) +
+        (iter % 8);
+    const std::vector<float> x = RandomData(rows * cols, &rng);
+    const std::vector<float> bias = RandomData(cols, &rng);
+    const std::string tag = "iter " + std::to_string(iter);
+    CheckAllPaths("bias-leaky-relu " + tag, [&](core::ThreadPool* p) {
+      std::vector<float> out(x.size());
+      k::BiasLeakyRelu(x.data(), bias.data(), out.data(), rows, cols, 0.2f,
+                       p);
+      return out;
+    });
+
+    const int64_t n_idx =
+        static_cast<int64_t>(rng.UniformInt(uint64_t{50}));
+    std::vector<int32_t> idx(static_cast<size_t>(n_idx));
+    for (auto& v : idx) {
+      v = static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(rows)));
+    }
+    const k::Csr csr = k::BuildCsr(idx, rows);
+    const std::vector<float> contrib = RandomData(n_idx * cols, &rng);
+    CheckAllPaths("scatter-add " + tag, [&](core::ThreadPool* p) {
+      std::vector<float> out(static_cast<size_t>(rows * cols), 0.0f);
+      k::ScatterAddRows(contrib.data(), csr, cols, out.data(), p);
+      return out;
+    });
+    CheckAllPaths("gather " + tag, [&](core::ThreadPool* p) {
+      std::vector<float> out(static_cast<size_t>(n_idx * cols));
+      k::GatherRows(x.data(), idx.data(), n_idx, cols, out.data(), p);
+      return out;
+    });
+  }
+}
+
+}  // namespace
+}  // namespace fedda::tensor

@@ -47,6 +47,15 @@ sanitizer can catch these, only a static scan can):
                            serialization fed from it is not reproducible.
                            Iterate sorted keys or use an ordered container.
 
+  simd-outside-kernels     Raw SIMD intrinsics (`_mm*`, `vaddq_f32`-style
+                           NEON calls) or intrinsic headers (immintrin.h,
+                           x86intrin.h, arm_neon.h) in src/ outside
+                           src/tensor/kernels/. All vector code lives
+                           behind the runtime dispatch layer so the scalar
+                           reference, the CPUID gating, and the
+                           kernel-equivalence suite stay authoritative
+                           (DESIGN.md §13).
+
 Allowlist: tools/lint_allowlist.txt suppresses a (rule, file) pair. Every
 entry must carry a justification after `--`; entries without one, and
 entries that no longer suppress anything, are themselves violations
@@ -83,6 +92,16 @@ TIME_SOURCE_RE = re.compile(
 # A function whose name marks a serialization path: unordered iteration
 # inside it feeds bytes that golden files compare.
 SERIAL_FN_RE = re.compile(r"\b(?:Save|Write|Serialize|Encode)\w*\s*\(")
+
+# Raw vector intrinsics: x86 `_mm_*`/`_mm256_*`/`_mm512_*` calls, NEON
+# `v*q_f32`-style calls, or including an intrinsic header directly.
+SIMD_DIR = "src/tensor/kernels/"
+SIMD_INTRINSIC_RE = re.compile(
+    r"\b_mm\d{0,3}_\w+\s*\(|\bv(?:add|sub|mul|mla|fma|ld1|st1|dup|max|min|"
+    r"ceq|cgt|cge|bsl)\w*_(?:f|s|u)\d+\w*\s*\(")
+SIMD_INCLUDE_RE = re.compile(
+    r'#\s*include\s*[<"](?:immintrin|x86intrin|xmmintrin|emmintrin|'
+    r'smmintrin|avxintrin|arm_neon)\.h[>"]')
 
 RANGE_FOR_RE = re.compile(
     r"\bfor\s*\(.*?:\s*[&*]?([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)\s*\)")
@@ -422,6 +441,32 @@ def serialization_spans(clean: str) -> list[tuple[int, int]]:
     return spans
 
 
+def check_simd_scope(root: Path, errors: list[Violation]) -> None:
+    """simd-outside-kernels: raw vector intrinsics are confined to
+    src/tensor/kernels/, the one layer with a scalar reference, CPUID
+    gating, and bit-exactness tests. Comments and strings are stripped
+    first, so *mentioning* an intrinsic is fine; calling one is not."""
+    for path in src_files(root):
+        rel = rel_posix(root, path)
+        if rel.startswith(SIMD_DIR):
+            continue
+        clean = strip_comments_and_strings(path.read_text())
+        for lineno, line in enumerate(clean.splitlines(), 1):
+            if SIMD_INTRINSIC_RE.search(line):
+                errors.append(Violation(
+                    rel, lineno, "simd-outside-kernels",
+                    "raw SIMD intrinsic outside src/tensor/kernels/ — "
+                    "vector code must go through the dispatched kernel "
+                    "layer so the scalar path and equivalence tests stay "
+                    "authoritative (DESIGN.md §13)"))
+            if SIMD_INCLUDE_RE.search(line):
+                errors.append(Violation(
+                    rel, lineno, "simd-outside-kernels",
+                    "intrinsic header included outside src/tensor/kernels/ "
+                    "— only the kernel layer may use vector intrinsics "
+                    "(DESIGN.md §13)"))
+
+
 def check_unordered_iteration(root: Path, errors: list[Violation]) -> None:
     """det-unordered-iter: range-for over an unordered container where the
     iteration order can reach numerics or serialized bytes."""
@@ -496,6 +541,7 @@ def run(root: Path, allowlist: Path | None = None) -> list[str]:
     check_tests_registered(root, errors)
     check_fuzz_targets(root, errors)
     check_ambient_entropy(root, errors)
+    check_simd_scope(root, errors)
     check_unordered_iteration(root, errors)
     if allowlist is None:
         allowlist = root / ALLOWLIST_NAME

@@ -100,6 +100,49 @@ class AmbientEntropyRules(unittest.TestCase):
                 'const char* kMsg = "rand() and time(nullptr)";\n'}), [])
 
 
+class SimdScopeRule(unittest.TestCase):
+    def test_avx2_intrinsic_flagged_outside_kernels(self):
+        errors = lint({
+            "src/hgn/bad.cc":
+                "__m256 v = _mm256_add_ps(a, b);\n"})
+        self.assertEqual(rules_of(errors), {"simd-outside-kernels"})
+        self.assertIn("src/hgn/bad.cc:1", errors[0])
+
+    def test_sse_intrinsic_flagged_outside_kernels(self):
+        errors = lint({
+            "src/tensor/ops_bad.cc": "auto v = _mm_mul_ps(a, b);\n"})
+        self.assertEqual(rules_of(errors), {"simd-outside-kernels"})
+
+    def test_neon_intrinsic_flagged_outside_kernels(self):
+        errors = lint({
+            "src/fl/bad.cc": "float32x4_t v = vaddq_f32(a, b);\n"})
+        self.assertEqual(rules_of(errors), {"simd-outside-kernels"})
+
+    def test_intrinsic_header_flagged_outside_kernels(self):
+        errors = lint({"src/core/bad.cc": "#include <immintrin.h>\n"})
+        self.assertEqual(rules_of(errors), {"simd-outside-kernels"})
+
+    def test_intrinsics_allowed_inside_kernels(self):
+        self.assertEqual(lint({
+            "src/tensor/kernels/avx2_impl.cc":
+                "#include <immintrin.h>\n"
+                "__m256 v = _mm256_add_ps(a, b);\n"}), [])
+
+    def test_mention_in_comment_passes(self):
+        self.assertEqual(lint({
+            "src/tensor/ops_ok.cc":
+                "// _mm256_fmadd_ps would change rounding; see kernels/\n"
+                'const char* kNote = "_mm_add_ps lives in kernels";\n'}), [])
+
+    def test_plain_identifiers_pass(self):
+        # Underscored names and vector-ish helpers that are not intrinsic
+        # calls must not trip the rule.
+        self.assertEqual(lint({
+            "src/tensor/ops_ok.cc":
+                "int _mm_lookalike = 0; value_f32(x);\n"
+                "vadd_helper(a, b);\n"}), [])
+
+
 class UnorderedIterationRule(unittest.TestCase):
     FL_LOOP = (
         "#include <unordered_map>\n"
