@@ -448,6 +448,25 @@ Status RemoteClient::ServeRound(const std::vector<uint8_t>& body) {
   if (task.client != options_.client_id) {
     return Status::IoError("round task routed to the wrong client");
   }
+  // The task fields below cross the trust boundary: they flow into
+  // ActivationState::SetClientMask and fl::BuildDenseUplinkPayload, whose
+  // FEDDA_CHECKs are in-process programmer-error contracts, not wire
+  // validation. Reject malformed tasks here so a hostile or buggy server
+  // yields a Status instead of aborting the client.
+  if (task.fedda && static_cast<int64_t>(task.mask_bits.size()) !=
+                        state_->num_units()) {
+    return Status::IoError("round task mask has wrong unit count");
+  }
+  if (!task.fedda) {
+    int prev = -1;
+    for (const int gid : task.selected_groups) {
+      if (gid <= prev || gid >= client_->params().num_groups()) {
+        return Status::IoError(
+            "round task selected groups must be ascending in-range ids");
+      }
+      prev = gid;
+    }
+  }
   if (hook_) hook_(task.round);
 
   // 1. Resync the mirror: after ApplyTo the mirror equals the server's

@@ -506,5 +506,63 @@ TEST(SocketTransportTest, SilentPeerTimesOutIntoADeparture) {
                        /*reply_timeout_sec=*/1.0);
 }
 
+// ---- hostile round tasks -------------------------------------------------
+
+/// A protocol-speaking hostile server: accepts one real client, completes
+/// the handshake by echoing the hello, then sends `task` as the first
+/// round start. Regression rig for ServeRound's trust-boundary
+/// validation — without it a malformed task aborted the client process
+/// inside ActivationState::SetClientMask (wrong mask width) or
+/// fl::BuildDenseUplinkPayload (out-of-range group id) instead of failing
+/// its Run() status.
+void RunHostileRoundTest(const fl::TransportTask& task, const char* tag) {
+  Listener listener;
+  ASSERT_TRUE(Listener::Listen(UniqueUdsAddress(tag), &listener).ok());
+
+  core::Status client_status = core::Status::OK();
+  std::thread peer(RunRemoteClient, TestOptions(fl::FlAlgorithm::kFedAvg),
+                   listener.address(), task.client, Fingerprint64(tag),
+                   /*round_timeout_sec=*/30.0, &client_status);
+
+  Socket conn;
+  ASSERT_TRUE(listener.Accept(/*timeout_sec=*/30.0, &conn).ok());
+  Frame hello;
+  ASSERT_TRUE(ReadFrame(&conn, 30.0, &hello).ok());
+  ASSERT_EQ(hello.type, FrameType::kHello);
+  ASSERT_TRUE(WriteFrame(&conn, FrameType::kHelloAck, hello.body).ok());
+  ASSERT_TRUE(
+      WriteFrame(&conn, FrameType::kRoundStart, EncodeRoundStart(task))
+          .ok());
+  // The client must reject the task: no reply frame comes back (the
+  // connection EOFs on us) and Run() reports the malformed task.
+  Frame reply;
+  (void)ReadFrame(&conn, 30.0, &reply);
+  peer.join();
+  EXPECT_FALSE(client_status.ok());
+  EXPECT_NE(client_status.message().find("round task"), std::string::npos)
+      << client_status.ToString();
+}
+
+TEST(SocketTransportTest, WrongSizeMaskFailsClientWithoutAbort) {
+  const fl::FederatedSystem system =
+      fl::FederatedSystem::Build(TestSystemConfig());
+  ParameterStore mirror = system.MakeInitialStore(kRunSeed);
+  fl::ActivationState state(system.num_clients(), mirror, {});
+  fl::TransportTask task;
+  task.fedda = true;
+  task.mask_bits.assign(static_cast<size_t>(state.num_units()) + 1, 1);
+  RunHostileRoundTest(task, "hostile-mask");
+}
+
+TEST(SocketTransportTest, OutOfRangeDenseGroupsFailClientWithoutAbort) {
+  const fl::FederatedSystem system =
+      fl::FederatedSystem::Build(TestSystemConfig());
+  const ParameterStore mirror = system.MakeInitialStore(kRunSeed);
+  fl::TransportTask task;
+  task.fedda = false;
+  task.selected_groups = {mirror.num_groups()};  // one past the end
+  RunHostileRoundTest(task, "hostile-groups");
+}
+
 }  // namespace
 }  // namespace fedda::net

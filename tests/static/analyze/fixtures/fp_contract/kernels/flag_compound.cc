@@ -1,0 +1,15 @@
+// must-flag az-fp-contract: the accumulate form, acc += a*b — the shape
+// every dot-product kernel uses and the one FMA contraction targets.
+#include "support.h"
+
+namespace fx_fp_compound {
+
+float DotRef(const float* a, const float* b, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+}  // namespace fx_fp_compound

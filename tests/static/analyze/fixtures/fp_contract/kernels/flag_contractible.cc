@@ -1,0 +1,14 @@
+// must-flag az-fp-contract: a*b+c in a kernels TU compiled WITHOUT
+// -ffp-contract=off (the selftest's compile command omits the flag) —
+// the compiler may fuse it to an FMA and change the low bits.
+#include "support.h"
+
+namespace fx_fp_flag {
+
+void AxpyRef(const float* a, const float* b, float* out, int n) {
+  for (int i = 0; i < n; ++i) {
+    out[i] = a[i] * b[i] + out[i];
+  }
+}
+
+}  // namespace fx_fp_flag

@@ -1,0 +1,21 @@
+// must-pass: multiplies and adds, but never in a contractible a*b+c
+// shape — nothing for FMA fusion to change.
+#include "support.h"
+
+namespace fx_fp_clean {
+
+void ScaleRef(const float* a, float scale, float* out, int n) {
+  for (int i = 0; i < n; ++i) {
+    out[i] = a[i] * scale;
+  }
+}
+
+float SumRef(const float* a, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    acc = acc + a[i];
+  }
+  return acc;
+}
+
+}  // namespace fx_fp_clean

@@ -1,0 +1,14 @@
+// must-pass: identical contractible code, but the selftest's compile
+// command for THIS file carries -ffp-contract=off — exactly how the real
+// kernel TUs are built.
+#include "support.h"
+
+namespace fx_fp_flagged_off {
+
+void AxpyRefOff(const float* a, const float* b, float* out, int n) {
+  for (int i = 0; i < n; ++i) {
+    out[i] = a[i] * b[i] + out[i];
+  }
+}
+
+}  // namespace fx_fp_flagged_off

@@ -1,0 +1,24 @@
+// must-flag az-lock-cycle: classic AB/BA — one method nests a under b,
+// another nests b under a. Thread-safety annotations cannot see this;
+// only the global acquisition-order graph can.
+#include "support.h"
+
+namespace fx_lock_abba {
+
+class Shard {
+ public:
+  void MoveLeft() {
+    fedda::core::MutexLock hold_a(&mu_left_);
+    fedda::core::MutexLock hold_b(&mu_right_);
+  }
+  void MoveRight() {
+    fedda::core::MutexLock hold_b(&mu_right_);
+    fedda::core::MutexLock hold_a(&mu_left_);
+  }
+
+ private:
+  fedda::core::Mutex mu_left_;
+  fedda::core::Mutex mu_right_;
+};
+
+}  // namespace fx_lock_abba

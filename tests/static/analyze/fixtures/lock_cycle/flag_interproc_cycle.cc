@@ -1,0 +1,26 @@
+// must-flag az-lock-cycle: the inversion spans a call — each function
+// takes one lock directly and the second through a callee, so no single
+// function ever shows both acquisitions.
+#include "support.h"
+
+namespace fx_lock_interproc {
+
+class Registry {
+ public:
+  void TakeIndex() { fedda::core::MutexLock hold(&mu_index_); }
+  void TakeStore() { fedda::core::MutexLock hold(&mu_store_); }
+  void Publish() {
+    fedda::core::MutexLock hold(&mu_store_);
+    TakeIndex();  // store -> index
+  }
+  void Reindex() {
+    fedda::core::MutexLock hold(&mu_index_);
+    TakeStore();  // index -> store: cycle
+  }
+
+ private:
+  fedda::core::Mutex mu_index_;
+  fedda::core::Mutex mu_store_;
+};
+
+}  // namespace fx_lock_interproc

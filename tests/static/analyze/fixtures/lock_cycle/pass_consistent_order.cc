@@ -1,0 +1,23 @@
+// must-pass: both methods nest in the same global order (outer before
+// inner) — edges all point one way, no cycle.
+#include "support.h"
+
+namespace fx_lock_ordered {
+
+class Pipeline {
+ public:
+  void Produce() {
+    fedda::core::MutexLock hold_outer(&mu_queue_);
+    fedda::core::MutexLock hold_inner(&mu_stats_);
+  }
+  void Consume() {
+    fedda::core::MutexLock hold_outer(&mu_queue_);
+    fedda::core::MutexLock hold_inner(&mu_stats_);
+  }
+
+ private:
+  fedda::core::Mutex mu_queue_;
+  fedda::core::Mutex mu_stats_;
+};
+
+}  // namespace fx_lock_ordered

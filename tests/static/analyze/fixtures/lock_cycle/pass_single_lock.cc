@@ -1,0 +1,24 @@
+// must-pass: scoped, non-nested acquisitions — the second lock is taken
+// after the first's scope ends, so no ordering edge exists at all.
+#include "support.h"
+
+namespace fx_lock_single {
+
+class Counter {
+ public:
+  void Bump() {
+    {
+      fedda::core::MutexLock hold(&mu_value_);
+    }
+    {
+      fedda::core::MutexLock hold(&mu_log_);
+    }
+  }
+  void Log() { fedda::core::MutexLock hold(&mu_log_); }
+
+ private:
+  fedda::core::Mutex mu_value_;
+  fedda::core::Mutex mu_log_;
+};
+
+}  // namespace fx_lock_single

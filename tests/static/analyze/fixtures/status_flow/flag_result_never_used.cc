@@ -1,0 +1,25 @@
+// must-flag az-status-ignored: same blind spot for Result<T> — the
+// value-or-error wrapper is named and dropped.
+#include "support.h"
+
+namespace fx_result_dropped {
+
+template <typename T>
+class Result {
+ public:
+  explicit Result(T value) : value_(value) {}
+  bool ok() const { return true; }
+  const T& value() const { return value_; }
+
+ private:
+  T value_;
+};
+
+Result<int> ComputeShard();
+
+void Kickoff() {
+  Result<int> shard = ComputeShard();
+  // ... shard never inspected.
+}
+
+}  // namespace fx_result_dropped

@@ -1,0 +1,15 @@
+// must-flag az-status-ignored: the Status is captured into a named local
+// — which defeats [[nodiscard]] — and then never read; the error
+// silently vanishes.
+#include "support.h"
+
+namespace fx_status_dropped {
+
+fedda::core::Status WriteSideEffect();
+
+void FlushAll() {
+  fedda::core::Status status = WriteSideEffect();
+  // ... status never branched on, returned, or logged.
+}
+
+}  // namespace fx_status_dropped

@@ -1,0 +1,17 @@
+// must-pass: the Status is branched on — the normal error-discipline
+// shape.
+#include "support.h"
+
+namespace fx_status_branched {
+
+fedda::core::Status WriteSideEffect();
+
+int FlushChecked() {
+  fedda::core::Status status = WriteSideEffect();
+  if (!status.ok()) {
+    return -1;
+  }
+  return 0;
+}
+
+}  // namespace fx_status_branched

@@ -1,0 +1,13 @@
+// must-pass: the Status is propagated to the caller.
+#include "support.h"
+
+namespace fx_status_returned {
+
+fedda::core::Status WriteSideEffect();
+
+fedda::core::Status FlushPropagate() {
+  fedda::core::Status status = WriteSideEffect();
+  return status;
+}
+
+}  // namespace fx_status_returned

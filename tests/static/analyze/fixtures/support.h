@@ -1,0 +1,70 @@
+// Miniature stand-ins for the repo types the analyzer special-cases, so
+// each fixture is one self-contained TU: the CHECK abort macros, a
+// Status, the safe core reader (block reads validate against remaining()
+// internally — the analyzer exempts it by type name), and the Mutex /
+// MutexLock pair. Declarations only where possible; fixtures are parsed,
+// never linked.
+#ifndef FEDDA_TESTS_STATIC_ANALYZE_FIXTURES_SUPPORT_H_
+#define FEDDA_TESTS_STATIC_ANALYZE_FIXTURES_SUPPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#define FEDDA_CHECK(cond) \
+  do {                    \
+    if (!(cond)) ::abort(); \
+  } while (0)
+#define FEDDA_CHECK_EQ(a, b) FEDDA_CHECK((a) == (b))
+#define FEDDA_CHECK_GE(a, b) FEDDA_CHECK((a) >= (b))
+#define FEDDA_CHECK_LT(a, b) FEDDA_CHECK((a) < (b))
+
+namespace fedda::core {
+
+class Status {
+ public:
+  Status() = default;
+  static Status OK() { return Status(); }
+  static Status IoError(const char* message);
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = true;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+  uint8_t ReadU8();
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  std::vector<uint8_t> ReadBytes(size_t count);
+  std::vector<float> ReadFloats(size_t count);
+  size_t remaining() const;
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+};
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() { mu_->Unlock(); }
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace fedda::core
+
+#endif  // FEDDA_TESTS_STATIC_ANALYZE_FIXTURES_SUPPORT_H_

@@ -1,0 +1,14 @@
+// must-flag az-tb-abort: a CHECK directly inside a decoder entry point.
+// fedda-analyze-entry: DecodeTagged decoder
+#include "support.h"
+
+namespace fx_abort_reachable {
+
+fedda::core::Status DecodeTagged(const std::vector<uint8_t>& bytes) {
+  fedda::core::ByteReader reader(bytes);
+  const uint32_t tag = reader.ReadU32();
+  FEDDA_CHECK_EQ(tag, 7u);  // wire bytes reach an abort
+  return fedda::core::Status::OK();
+}
+
+}  // namespace fx_abort_reachable

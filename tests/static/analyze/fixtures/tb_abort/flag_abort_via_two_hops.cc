@@ -1,0 +1,21 @@
+// must-flag az-tb-abort: the abort is two calls below the entry point —
+// only a call-graph walk can see it (the lint regex cannot).
+// fedda-analyze-entry: DecodeHopped decoder
+#include "support.h"
+
+namespace fx_abort_two_hops {
+
+void ValidateHeaderHop(uint32_t version) {
+  FEDDA_CHECK_EQ(version, 3u);  // reachable: decoder -> check -> here
+}
+
+void CheckFrameHop(uint32_t version) { ValidateHeaderHop(version); }
+
+fedda::core::Status DecodeHopped(const std::vector<uint8_t>& bytes) {
+  fedda::core::ByteReader reader(bytes);
+  const uint32_t version = reader.ReadU32();
+  CheckFrameHop(version);
+  return fedda::core::Status::OK();
+}
+
+}  // namespace fx_abort_two_hops

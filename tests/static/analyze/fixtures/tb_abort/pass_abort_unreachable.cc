@@ -1,0 +1,21 @@
+// must-pass: a CHECK exists in this TU but no path from the decoder
+// reaches it — server-side setup code may CHECK its own invariants.
+// fedda-analyze-entry: DecodeSafe decoder
+#include "support.h"
+
+namespace fx_abort_unreachable {
+
+fedda::core::Status DecodeSafe(const std::vector<uint8_t>& bytes) {
+  fedda::core::ByteReader reader(bytes);
+  const uint32_t tag = reader.ReadU32();
+  if (tag != 7u) {
+    return fedda::core::Status::IoError("bad tag");
+  }
+  return fedda::core::Status::OK();
+}
+
+void ServerOnlySetup(int clients) {
+  FEDDA_CHECK(clients > 0);  // never called from DecodeSafe
+}
+
+}  // namespace fx_abort_unreachable

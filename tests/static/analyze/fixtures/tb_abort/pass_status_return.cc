@@ -1,0 +1,25 @@
+// must-pass: the hardened decoder shape — every wire-derived value fails
+// with a Status, including through a helper the walk descends into.
+// fedda-analyze-entry: DecodeHardened decoder
+#include "support.h"
+
+namespace fx_abort_status {
+
+fedda::core::Status CheckVersionStatus(uint32_t version) {
+  if (version != 3u) {
+    return fedda::core::Status::IoError("unsupported version");
+  }
+  return fedda::core::Status::OK();
+}
+
+fedda::core::Status DecodeHardened(const std::vector<uint8_t>& bytes) {
+  fedda::core::ByteReader reader(bytes);
+  const uint32_t version = reader.ReadU32();
+  const fedda::core::Status status = CheckVersionStatus(version);
+  if (!status.ok()) {
+    return status;
+  }
+  return fedda::core::Status::OK();
+}
+
+}  // namespace fx_abort_status

@@ -1,0 +1,16 @@
+// must-flag az-tb-alloc: a wire-read count sizes a resize with no branch
+// on the count in between — a hostile length field is an OOM.
+// fedda-analyze-entry: DecodeSizes decoder
+#include "support.h"
+
+namespace fx_alloc_unguarded {
+
+fedda::core::Status DecodeSizes(const std::vector<uint8_t>& bytes,
+                                std::vector<float>* out) {
+  fedda::core::ByteReader reader(bytes);
+  const uint64_t count = reader.ReadU64();
+  out->resize(count);  // count never compared against remaining()
+  return fedda::core::Status::OK();
+}
+
+}  // namespace fx_alloc_unguarded

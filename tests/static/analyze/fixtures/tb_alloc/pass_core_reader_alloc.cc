@@ -1,0 +1,20 @@
+// must-pass: block reads on core::ByteReader are exempt — the reader
+// validates the count against remaining() internally and returns empty
+// on overrun (core/binary_io.h contract).
+// fedda-analyze-entry: DecodeViaCore decoder
+#include "support.h"
+
+namespace fx_alloc_core_reader {
+
+fedda::core::Status DecodeViaCore(const std::vector<uint8_t>& bytes) {
+  fedda::core::ByteReader reader(bytes);
+  const uint64_t length = reader.ReadU64();
+  const std::vector<uint8_t> body =
+      reader.ReadBytes(static_cast<size_t>(length));
+  if (body.empty()) {
+    return fedda::core::Status::IoError("truncated body");
+  }
+  return fedda::core::Status::OK();
+}
+
+}  // namespace fx_alloc_core_reader

@@ -1,0 +1,19 @@
+// must-pass: the validate-before-allocate shape — the count is branched
+// on (against remaining()) before it sizes anything.
+// fedda-analyze-entry: DecodeGuarded decoder
+#include "support.h"
+
+namespace fx_alloc_guarded {
+
+fedda::core::Status DecodeGuarded(const std::vector<uint8_t>& bytes,
+                                  std::vector<float>* out) {
+  fedda::core::ByteReader reader(bytes);
+  const uint64_t count = reader.ReadU64();
+  if (count > reader.remaining() / sizeof(float)) {
+    return fedda::core::Status::IoError("implausible count");
+  }
+  out->resize(count);
+  return fedda::core::Status::OK();
+}
+
+}  // namespace fx_alloc_guarded

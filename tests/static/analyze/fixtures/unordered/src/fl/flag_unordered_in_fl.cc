@@ -1,0 +1,19 @@
+// must-flag az-unordered-iter: the container hides behind a typedef, so
+// the lint regex (which matches `unordered_map<...>` declarations) is
+// blind — only the canonical type in the AST reveals it. The path is
+// under src/fl/, the always-scoped determinism zone.
+#include "support.h"
+
+namespace fx_unordered_fl {
+
+using MagnitudeMap = std::unordered_map<int, float>;
+
+float TotalMagnitude(const MagnitudeMap& magnitudes) {
+  float total = 0.0f;
+  for (const auto& entry : magnitudes) {
+    total += entry.second;  // accumulation order is hash order
+  }
+  return total;
+}
+
+}  // namespace fx_unordered_fl

@@ -1,0 +1,15 @@
+// must-pass: std::map iterates in key order — deterministic, allowed
+// anywhere.
+#include "support.h"
+
+namespace fx_ordered_fl {
+
+float TotalOrdered(const std::map<int, float>& magnitudes) {
+  float total = 0.0f;
+  for (const auto& entry : magnitudes) {
+    total += entry.second;
+  }
+  return total;
+}
+
+}  // namespace fx_ordered_fl

@@ -1,0 +1,21 @@
+// must-flag az-unordered-iter: outside the always-scoped directories but
+// inside a Serialize* function, iterating an unordered member of a
+// parameter — two indirections (member access + cross-decl type) the
+// regex cannot follow.
+#include "support.h"
+
+namespace fx_unordered_serialize {
+
+struct Table {
+  std::unordered_map<std::string, int> cells;
+};
+
+std::string SerializeTable(const Table& table) {
+  std::string out;
+  for (const auto& cell : table.cells) {
+    out += cell.first;  // serialized byte order is hash order
+  }
+  return out;
+}
+
+}  // namespace fx_unordered_serialize

@@ -1,0 +1,16 @@
+// must-pass: unordered iteration outside src/fl//src/tensor/ and not in
+// a serialization function — the count does not depend on order, and the
+// rule scopes to where order can leak into bytes or numerics.
+#include "support.h"
+
+namespace fx_unordered_out {
+
+int CountLarge(const std::unordered_map<int, float>& values) {
+  int count = 0;
+  for (const auto& entry : values) {
+    if (entry.second > 1.0f) ++count;
+  }
+  return count;
+}
+
+}  // namespace fx_unordered_out

@@ -60,15 +60,37 @@ Allowlist: tools/lint_allowlist.txt suppresses a (rule, file) pair. Every
 entry must carry a justification after `--`; entries without one, and
 entries that no longer suppress anything, are themselves violations
 (allowlist-missing-justification / allowlist-unused), so the list cannot
-rot.
+rot. The file is shared with tools/analyze/fedda_analyze.py: entries whose
+rule id starts with `az-` belong to the AST analyzer — this linter checks
+their format but leaves suppression/unused accounting to that tool. One
+cross-tool dedup rule: an `az-unordered-iter <path>` entry also suppresses
+this linter's regex `det-unordered-iter` findings for the same path, so a
+justified unordered iteration needs exactly one allowlist line, not two.
+
+Surface inventory: the untrusted-bytes entry points the fuzz-target rule
+scans are exported with --emit-surface as JSON so fedda_analyze.py seeds
+its call-graph walk from the same inventory (one source of truth). The
+inventory has two tiers: kind "decoder" (name matches the decoder naming
+convention; held to fuzz-target-missing) and kind "byte-entry" (a
+Status/Result-returning function taking `const std::vector<uint8_t>&` —
+a fallible byte consumer that is walk-seeded by the analyzer but not
+itself required to have a fuzz target, e.g. RemoteClient::ServeRound).
+
+--ast-supersedes drops det-unordered-iter findings with a notice: the CI
+static-analyze job passes it because fedda_analyze.py's az-unordered-iter
+AST check supersedes the brittle regex there (the regex stays as the
+fallback everywhere libclang is absent).
 
 Exit code 0 when clean, 1 with one line per violation otherwise.
 
-Usage: tools/lint_fedda.py [repo_root]
+Usage: tools/lint_fedda.py [repo_root] [--emit-surface PATH|-]
+                           [--ast-supersedes]
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import re
 import sys
 from pathlib import Path
@@ -123,6 +145,16 @@ FUZZ_SURFACE = (
 DECODER_RE = re.compile(
     r"\b((?:Decode|Parse|Deserialize|Load|Restore)[A-Za-z0-9_]*|ReadFrame)"
     r"\s*\(")
+# The second surface tier: a fallible byte consumer — a Status/Result
+# returning function taking `const std::vector<uint8_t>&`. These take
+# foreign bytes without carrying a decoder name (RemoteClient::ServeRound
+# is the canonical case), so the analyzer must seed its walk from them;
+# they are NOT held to fuzz-target-missing (the decoders they call are).
+BYTE_ENTRY_RE = re.compile(
+    r"\b(?:core\s*::\s*)?(?:Status|Result\s*<[^;{}]{0,80}>)\s+"
+    r"([A-Za-z_]\w*)\s*\([^;{}()]*?const\s+(?:std\s*::\s*)?vector\s*<\s*"
+    r"uint8_t\s*>\s*&",
+    re.DOTALL)
 FUZZ_TARGET_MACRO = "FEDDA_FUZZ_TARGET"
 FUZZ_REGISTER_RE = re.compile(r"fedda_add_fuzz_target\(\s*(\w+)\s*\)")
 
@@ -294,6 +326,46 @@ def check_tests_registered(root: Path, errors: list[Violation]) -> None:
                 "is never compiled"))
 
 
+def surface_files(root: Path) -> list[Path]:
+    surface: list[Path] = []
+    for entry in FUZZ_SURFACE:
+        path = root / entry
+        if path.is_dir():
+            surface.extend(sorted(path.rglob("*.h")))
+        elif path.is_file():
+            surface.append(path)
+    return surface
+
+
+def surface_inventory(root: Path) -> list[dict]:
+    """The untrusted-bytes entry-point inventory: every decoder-named
+    declaration on the FUZZ_SURFACE headers (kind "decoder") plus every
+    Status/Result-returning function taking a const byte span (kind
+    "byte-entry"). One entry per (header, name); a name matching both
+    tiers is a decoder. This is the single source of truth shared by the
+    fuzz-target-missing rule and fedda_analyze.py's trust-boundary walk
+    (--emit-surface serializes it)."""
+    entries: list[dict] = []
+    for header in surface_files(root):
+        clean = strip_comments_and_strings(header.read_text())
+        rel = rel_posix(root, header)
+        seen: dict[str, dict] = {}
+        for lineno, line in enumerate(clean.splitlines(), 1):
+            for match in DECODER_RE.finditer(line):
+                name = match.group(1)
+                if name not in seen:
+                    seen[name] = {"name": name, "file": rel,
+                                  "line": lineno, "kind": "decoder"}
+        for match in BYTE_ENTRY_RE.finditer(clean):
+            name = match.group(1)
+            if name not in seen:
+                lineno = clean.count("\n", 0, match.start(1)) + 1
+                seen[name] = {"name": name, "file": rel,
+                              "line": lineno, "kind": "byte-entry"}
+        entries.extend(seen[name] for name in sorted(seen))
+    return entries
+
+
 def check_fuzz_targets(root: Path, errors: list[Violation]) -> None:
     """fuzz-target-missing: every decoder declared on the untrusted-bytes
     surface must be named in a fuzz-target source that is (a) a
@@ -323,31 +395,18 @@ def check_fuzz_targets(root: Path, errors: list[Violation]) -> None:
             covered_text.append(clean)
     fuzz_text = "\n".join(covered_text)
 
-    surface: list[Path] = []
-    for entry in FUZZ_SURFACE:
-        path = root / entry
-        if path.is_dir():
-            surface.extend(sorted(path.rglob("*.h")))
-        elif path.is_file():
-            surface.append(path)
-    for header in surface:
-        clean = strip_comments_and_strings(header.read_text())
-        rel = rel_posix(root, header)
-        reported: set[str] = set()
-        for lineno, line in enumerate(clean.splitlines(), 1):
-            for match in DECODER_RE.finditer(line):
-                name = match.group(1)
-                if name in reported:
-                    continue
-                reported.add(name)
-                if re.search(rf"\b{re.escape(name)}\b", fuzz_text):
-                    continue
-                errors.append(Violation(
-                    rel, lineno, "fuzz-target-missing",
-                    f"decoder `{name}` is on the untrusted-bytes surface "
-                    "but no registered FEDDA_FUZZ_TARGET under tests/fuzz/ "
-                    "exercises it; every byte parser ships with a fuzz "
-                    "target (DESIGN.md §12)"))
+    for entry in surface_inventory(root):
+        if entry["kind"] != "decoder":
+            continue
+        name = entry["name"]
+        if re.search(rf"\b{re.escape(name)}\b", fuzz_text):
+            continue
+        errors.append(Violation(
+            entry["file"], entry["line"], "fuzz-target-missing",
+            f"decoder `{name}` is on the untrusted-bytes surface "
+            "but no registered FEDDA_FUZZ_TARGET under tests/fuzz/ "
+            "exercises it; every byte parser ships with a fuzz "
+            "target (DESIGN.md §12)"))
 
 
 def check_ambient_entropy(root: Path, errors: list[Violation]) -> None:
@@ -520,21 +579,37 @@ def apply_allowlist(root: Path, allowlist: Path,
     used: set[tuple[str, str]] = set()
     for violation in errors:
         key = (violation.rule, violation.path)
+        ast_key = ("az-unordered-iter", violation.path)
         if key in entries:
             used.add(key)
+        elif violation.rule == "det-unordered-iter" and ast_key in entries:
+            # Cross-tool dedup: the AST analyzer's az-unordered-iter entry
+            # covers the regex finding for the same path, so one justified
+            # allowlist line silences both tools.
+            used.add(ast_key)
         else:
             kept.append(violation)
     for key, lineno in entries.items():
-        if key not in used:
-            kept.append(Violation(
-                allow_rel, lineno, "allowlist-unused",
-                f"entry ({key[0]}, {key[1]}) suppresses nothing; "
-                "delete it so the allowlist cannot rot"))
+        if key in used:
+            continue
+        if key[0].startswith("az-"):
+            # Analyzer-owned entry: fedda_analyze.py does the unused
+            # accounting for its own namespace (this linter cannot know
+            # what the AST checks match).
+            continue
+        kept.append(Violation(
+            allow_rel, lineno, "allowlist-unused",
+            f"entry ({key[0]}, {key[1]}) suppresses nothing; "
+            "delete it so the allowlist cannot rot"))
     return kept
 
 
-def run(root: Path, allowlist: Path | None = None) -> list[str]:
-    """Runs every rule over `root`; returns rendered violations."""
+def run(root: Path, allowlist: Path | None = None,
+        ast_supersedes: bool = False) -> list[str]:
+    """Runs every rule over `root`; returns rendered violations. With
+    `ast_supersedes`, det-unordered-iter findings are dropped after
+    allowlist accounting (the AST analyzer's az-unordered-iter check is
+    the authority in that configuration)."""
     errors: list[Violation] = []
     check_exception_free(root, errors)
     check_headers(root, errors)
@@ -546,16 +621,43 @@ def run(root: Path, allowlist: Path | None = None) -> list[str]:
     if allowlist is None:
         allowlist = root / ALLOWLIST_NAME
     errors = apply_allowlist(root, allowlist, errors)
+    if ast_supersedes:
+        errors = [v for v in errors if v.rule != "det-unordered-iter"]
     errors.sort(key=lambda v: (v.path, v.line, v.rule))
     return [v.render() for v in errors]
 
 
 def main() -> int:
-    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
-        __file__).resolve().parent.parent
-    errors = run(root)
+    parser = argparse.ArgumentParser(
+        description="fedda repo-invariant and determinism linter")
+    parser.add_argument(
+        "root", nargs="?",
+        default=str(Path(__file__).resolve().parent.parent),
+        help="repo root (default: the tree containing this script)")
+    parser.add_argument(
+        "--emit-surface", metavar="PATH",
+        help="write the untrusted-bytes entry-point inventory as JSON to "
+             "PATH ('-' for stdout) and exit without linting")
+    parser.add_argument(
+        "--ast-supersedes", action="store_true",
+        help="drop det-unordered-iter findings: fedda_analyze.py's "
+             "az-unordered-iter AST check is running and supersedes the "
+             "regex")
+    args = parser.parse_args()
+    root = Path(args.root)
+    if args.emit_surface:
+        payload = json.dumps(surface_inventory(root), indent=2) + "\n"
+        if args.emit_surface == "-":
+            sys.stdout.write(payload)
+        else:
+            Path(args.emit_surface).write_text(payload)
+        return 0
+    errors = run(root, ast_supersedes=args.ast_supersedes)
     for err in errors:
         print(err)
+    if args.ast_supersedes:
+        print("lint_fedda: det-unordered-iter superseded by "
+              "az-unordered-iter (AST)")
     if errors:
         print(f"lint_fedda: {len(errors)} violation(s)", file=sys.stderr)
         return 1

@@ -338,5 +338,87 @@ class LegacyRepoInvariants(unittest.TestCase):
         self.assertEqual(rules_of(errors), {"test-unregistered"})
 
 
+class SurfaceInventory(unittest.TestCase):
+    HEADER = (
+        "#ifndef FEDDA_NET_CODEC_H_\n"
+        "#define FEDDA_NET_CODEC_H_\n"
+        "core::Status DecodeFoo(const std::vector<uint8_t>& body);\n"
+        "core::Status ServeBlob(int fd, const std::vector<uint8_t>& raw);\n"
+        "void PackBits(const std::vector<uint8_t>& bits);\n"
+        "#endif  // FEDDA_NET_CODEC_H_\n")
+
+    def inventory(self, files):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            for rel, content in files.items():
+                path = root / rel
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(content)
+            return lint_fedda.surface_inventory(root)
+
+    def test_byte_entry_tier_detected(self):
+        entries = {(e["name"], e["kind"])
+                   for e in self.inventory({"src/net/codec.h": self.HEADER})}
+        self.assertIn(("DecodeFoo", "decoder"), entries)
+        self.assertIn(("ServeBlob", "byte-entry"), entries)
+        # Takes the byte span but returns void: a producer, not an entry.
+        self.assertNotIn(("PackBits", "byte-entry"), entries)
+
+    def test_decoder_kind_wins_dedup(self):
+        header = (
+            "#ifndef FEDDA_NET_CODEC_H_\n"
+            "#define FEDDA_NET_CODEC_H_\n"
+            "core::Status DecodeFoo(const std::vector<uint8_t>& body);\n"
+            "#endif  // FEDDA_NET_CODEC_H_\n")
+        entries = [e for e in self.inventory({"src/net/codec.h": header})
+                   if e["name"] == "DecodeFoo"]
+        self.assertEqual(1, len(entries))
+        self.assertEqual("decoder", entries[0]["kind"])
+
+    def test_byte_entry_not_held_to_fuzz_rule(self):
+        header = (
+            "#ifndef FEDDA_NET_SERVE_H_\n"
+            "#define FEDDA_NET_SERVE_H_\n"
+            "core::Status ServeBlob(int fd, const std::vector<uint8_t>& "
+            "raw);\n"
+            "#endif  // FEDDA_NET_SERVE_H_\n")
+        self.assertEqual(lint({"src/net/serve.h": header}), [])
+
+
+class AnalyzerNamespaceSharing(unittest.TestCase):
+    """az-* rows in the shared allowlist belong to fedda_analyze; the lint
+    must neither report them unused nor choke on them — except that
+    az-unordered-iter doubles as a suppression for the regex rule it
+    supersedes."""
+
+    def test_az_entry_not_flagged_unused(self):
+        files = {
+            "src/fl/ok.cc": "int x = 0;\n",
+            "tools/lint_allowlist.txt":
+                "az-tb-abort src/fl/wire.cc -- analyzer-owned\n",
+        }
+        self.assertEqual(lint(files), [])
+
+    def test_az_unordered_entry_suppresses_regex_rule(self):
+        files = {
+            "src/fl/bad.cc": UnorderedIterationRule.FL_LOOP,
+            "tools/lint_allowlist.txt":
+                "az-unordered-iter src/fl/bad.cc -- iteration order "
+                "proven sorted upstream\n",
+        }
+        self.assertEqual(lint(files), [])
+
+    def test_ast_supersedes_drops_regex_findings(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            bad = root / "src" / "fl" / "bad.cc"
+            bad.parent.mkdir(parents=True)
+            bad.write_text(UnorderedIterationRule.FL_LOOP)
+            with_regex = lint_fedda.run(root)
+            superseded = lint_fedda.run(root, ast_supersedes=True)
+        self.assertEqual(rules_of(with_regex), {"det-unordered-iter"})
+        self.assertEqual(superseded, [])
+
+
 if __name__ == "__main__":
     unittest.main()
